@@ -1,0 +1,9 @@
+//! Figure 7: single-core speedups of the five mechanisms over Base.
+
+use figaro_bench::{bench_runner, timed};
+
+fn main() {
+    let runner = bench_runner("Figure 7: single-core performance");
+    let fig = timed("fig07", || figaro_sim::experiments::fig07(&runner));
+    println!("{fig}");
+}

@@ -1,0 +1,9 @@
+//! Figure 8: eight-core weighted speedups of the five mechanisms.
+
+use figaro_bench::{bench_runner, timed};
+
+fn main() {
+    let runner = bench_runner("Figure 8: eight-core performance");
+    let fig = timed("fig08", || figaro_sim::experiments::fig08(&runner));
+    println!("{fig}");
+}

@@ -1,0 +1,9 @@
+//! Figure 9: in-DRAM cache hit rates.
+
+use figaro_bench::{bench_runner, timed};
+
+fn main() {
+    let runner = bench_runner("Figure 9: in-DRAM cache hit rate");
+    let fig = timed("fig09", || figaro_sim::experiments::fig09(&runner));
+    println!("{fig}");
+}

@@ -1,0 +1,9 @@
+//! Figure 10: DRAM row-buffer hit rates.
+
+use figaro_bench::{bench_runner, timed};
+
+fn main() {
+    let runner = bench_runner("Figure 10: DRAM row-buffer hit rate");
+    let fig = timed("fig10", || figaro_sim::experiments::fig10(&runner));
+    println!("{fig}");
+}

@@ -1,0 +1,9 @@
+//! Figure 11: system energy breakdown normalized to Base.
+
+use figaro_bench::{bench_runner, timed};
+
+fn main() {
+    let runner = bench_runner("Figure 11: system energy");
+    let fig = timed("fig11", || figaro_sim::experiments::fig11(&runner));
+    println!("{fig}");
+}

@@ -1,0 +1,9 @@
+//! Figure 12: sensitivity to the number of fast subarrays.
+
+use figaro_bench::{bench_runner, timed};
+
+fn main() {
+    let runner = bench_runner("Figure 12: in-DRAM cache capacity");
+    let fig = timed("fig12", || figaro_sim::experiments::fig12(&runner));
+    println!("{fig}");
+}

@@ -1,0 +1,9 @@
+//! Figure 13: sensitivity to the row-segment size.
+
+use figaro_bench::{bench_runner, timed};
+
+fn main() {
+    let runner = bench_runner("Figure 13: row-segment size");
+    let fig = timed("fig13", || figaro_sim::experiments::fig13(&runner));
+    println!("{fig}");
+}

@@ -1,0 +1,9 @@
+//! Figure 14: in-DRAM cache replacement policies.
+
+use figaro_bench::{bench_runner, timed};
+
+fn main() {
+    let runner = bench_runner("Figure 14: replacement policy");
+    let fig = timed("fig14", || figaro_sim::experiments::fig14(&runner));
+    println!("{fig}");
+}

@@ -1,0 +1,9 @@
+//! Figure 15: row-segment insertion thresholds.
+
+use figaro_bench::{bench_runner, timed};
+
+fn main() {
+    let runner = bench_runner("Figure 15: insertion threshold");
+    let fig = timed("fig15", || figaro_sim::experiments::fig15(&runner));
+    println!("{fig}");
+}

@@ -1,0 +1,119 @@
+//! Criterion micro-benchmarks of the simulator's hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use figaro_core::{CacheEngine, FigCacheConfig, FigCacheEngine};
+use figaro_dram::{BankAddr, DramChannel, DramCommand, DramConfig, SubarrayLayout};
+use figaro_memctrl::{McConfig, MemoryController, Request};
+use figaro_core::NullEngine;
+use figaro_dram::PhysAddr;
+use figaro_spice::RelocCircuit;
+use figaro_workloads::{profile_by_name, TraceGenerator};
+
+fn bench_dram_issue(c: &mut Criterion) {
+    let cfg = DramConfig::ddr4_paper_default();
+    c.bench_function("dram_act_rd_pre_cycle", |b| {
+        b.iter_batched(
+            || DramChannel::new(&cfg),
+            |mut ch| {
+                let bank = BankAddr { rank: 0, bankgroup: 0, bank: 0 };
+                let mut now = 0;
+                for row in 0..64u32 {
+                    let act = DramCommand::Activate { row };
+                    now = ch.earliest_issue(bank, &act, now).max(now);
+                    ch.issue(bank, &act, now);
+                    let rd = DramCommand::Read { col: 0, auto_pre: false };
+                    now = ch.earliest_issue(bank, &rd, now).max(now);
+                    ch.issue(bank, &rd, now);
+                    now = ch.earliest_issue(bank, &DramCommand::Precharge, now).max(now);
+                    ch.issue(bank, &DramCommand::Precharge, now);
+                }
+                black_box(ch.stats().reads)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_controller_tick(c: &mut Criterion) {
+    let dram = DramConfig::ddr4_paper_default();
+    let mc_cfg = McConfig { enable_refresh: false, ..McConfig::default() };
+    c.bench_function("frfcfs_serve_32_reads", |b| {
+        b.iter_batched(
+            || {
+                let mut mc = MemoryController::new(&dram, mc_cfg, 0, Box::new(NullEngine::new()));
+                for i in 0..32u64 {
+                    mc.enqueue(
+                        Request {
+                            id: i,
+                            addr: PhysAddr(i * 8192 * 7),
+                            is_write: false,
+                            core: 0,
+                            arrival: 0,
+                        },
+                        0,
+                    );
+                }
+                mc
+            },
+            |mut mc| {
+                let mut now = 0;
+                while !mc.is_idle() && now < 100_000 {
+                    mc.tick(now);
+                    let _ = mc.drain_completions();
+                    now += 1;
+                }
+                black_box(now)
+            },
+            criterion::BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_figcache_lookup(c: &mut Criterion) {
+    let dram = DramConfig {
+        layout: SubarrayLayout::homogeneous(64, 512).with_appended_fast(2, 32),
+        ..DramConfig::ddr4_paper_default()
+    };
+    let mut engine = FigCacheEngine::new(&dram, &FigCacheConfig::paper_fast(), 16);
+    // Pre-fill some segments (left relocating; lookups still exercise the map).
+    for row in 0..256u32 {
+        engine.on_request(0, row, 0, false, None, 0);
+    }
+    c.bench_function("fts_lookup_miss_insert", |b| {
+        let mut row = 1000u32;
+        b.iter(|| {
+            row = row.wrapping_add(17) % 30_000;
+            black_box(engine.on_request(0, row, 3, false, None, 0))
+        });
+    });
+}
+
+fn bench_trace_generation(c: &mut Criterion) {
+    let profile = profile_by_name("mcf").unwrap();
+    c.bench_function("trace_gen_1k_ops", |b| {
+        let mut gen = TraceGenerator::new(&profile, 1);
+        b.iter(|| {
+            let mut sum = 0u64;
+            for _ in 0..1000 {
+                sum = sum.wrapping_add(gen.next().unwrap().addr);
+            }
+            black_box(sum)
+        });
+    });
+}
+
+fn bench_spice_transient(c: &mut Criterion) {
+    let circuit = RelocCircuit::paper_default();
+    c.bench_function("spice_reloc_transient", |b| {
+        b.iter(|| black_box(circuit.simulate(black_box(66))));
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_dram_issue, bench_controller_tick, bench_figcache_lookup, bench_trace_generation, bench_spice_transient
+);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Section 8.1 (multithreaded): canneal / fluidanimate / radix analogues.
+
+use figaro_bench::{bench_runner, timed};
+
+fn main() {
+    let runner = bench_runner("Multithreaded workloads");
+    let fig = timed("mt", || figaro_sim::experiments::multithreaded(&runner));
+    println!("{fig}");
+}

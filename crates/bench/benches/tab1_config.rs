@@ -1,0 +1,5 @@
+//! Table 1: prints the simulated system configuration.
+
+fn main() {
+    println!("{}", figaro_sim::experiments::tab1_text());
+}

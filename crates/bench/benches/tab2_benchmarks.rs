@@ -1,0 +1,9 @@
+//! Table 2: benchmark suite and measured intensity classification.
+
+use figaro_bench::{bench_runner, timed};
+
+fn main() {
+    let runner = bench_runner("Table 2: benchmark classification");
+    let fig = timed("tab2", || figaro_sim::experiments::tab2(&runner));
+    println!("{fig}");
+}

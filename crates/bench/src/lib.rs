@@ -1,0 +1,40 @@
+//! # figaro-bench — the paper-reproduction benchmark harness
+//!
+//! Each `cargo bench` target regenerates one table or figure of the
+//! paper's evaluation section and prints the measured series next to the
+//! paper's reported values (see `EXPERIMENTS.md` at the workspace root
+//! for the recorded comparison). Targets share the on-disk result cache
+//! under `target/figaro-cache`, so figures built from the same runs
+//! (7/9/10/11 and 8/9/10/11) are cheap after the first one.
+//!
+//! Environment knobs:
+//!
+//! * `FIGARO_SCALE` = `tiny` | `small` (default) | `full` — instructions
+//!   per core;
+//! * `FIGARO_FULL_SWEEPS=1` — run sweep figures (12–15) over all 20
+//!   applications/mixes instead of the representative subset.
+//!
+//! The `micro` target contains Criterion micro-benchmarks of simulator
+//! hot paths (DRAM command issue, controller scheduling, tag-store
+//! operations, trace generation).
+
+use std::time::Instant;
+
+use figaro_sim::runner::Scale;
+use figaro_sim::Runner;
+
+/// Builds the shared runner and prints the standard bench header.
+#[must_use]
+pub fn bench_runner(name: &str) -> Runner {
+    let scale = Scale::from_env();
+    println!("--- {name} (scale: {}, cache: target/figaro-cache) ---", scale.label());
+    Runner::new(scale)
+}
+
+/// Runs `f`, printing its wall-clock duration.
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let r = f();
+    println!("[{label}: {:.1}s]", start.elapsed().as_secs_f64());
+    r
+}

@@ -1,0 +1,166 @@
+//! FIGCache configuration: where the cache rows live, segment size, and
+//! the insertion/replacement policies evaluated in the paper's Section 9.
+
+/// Where a bank's in-DRAM cache rows are located.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheRegion {
+    /// `FIGCache-Fast`: rows live in appended fast subarrays (the paper:
+    /// two fast subarrays of 32 rows each). The DRAM layout must declare
+    /// matching fast subarrays.
+    FastSubarrays,
+    /// `FIGCache-Slow`: rows are reserved at the top of the last regular
+    /// subarray; segments homed in that subarray are not cacheable
+    /// (FIGARO cannot relocate within one subarray).
+    ReservedSlowRows,
+}
+
+/// In-DRAM cache replacement policies (paper Fig. 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplacementPolicy {
+    /// The paper's policy: evict at **row** granularity. The cache row with
+    /// the lowest cumulative benefit is marked in an eviction register +
+    /// bitvector, and its segments are evicted one per insertion (lowest
+    /// benefit first) until the row is drained.
+    RowBenefit,
+    /// Traditional benefit-based policy at segment granularity: evict the
+    /// single valid segment with the lowest benefit anywhere in the cache.
+    SegmentBenefit,
+    /// Evict the least-recently-used segment.
+    Lru,
+    /// Evict a uniformly random valid segment.
+    Random,
+}
+
+/// Row-segment insertion policies (paper Fig. 15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InsertionPolicy {
+    /// Number of misses a segment must accumulate before it is inserted.
+    /// `1` is the paper's insert-any-miss default.
+    pub miss_threshold: u32,
+}
+
+impl InsertionPolicy {
+    /// The paper's insert-any-miss policy.
+    #[must_use]
+    pub fn insert_any_miss() -> Self {
+        Self { miss_threshold: 1 }
+    }
+}
+
+/// Full FIGCache configuration for one memory channel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigCacheConfig {
+    /// Cache rows per bank (the paper: 64 = 2 fast subarrays × 32 rows, or
+    /// 64 reserved slow rows).
+    pub cache_rows_per_bank: u32,
+    /// Cache blocks per segment (the paper default: 16 = 1 kB).
+    pub blocks_per_segment: u32,
+    /// Where the cache rows live.
+    pub region: CacheRegion,
+    /// Replacement policy.
+    pub replacement: ReplacementPolicy,
+    /// Insertion policy.
+    pub insertion: InsertionPolicy,
+    /// `FIGCache-Ideal`: relocations are free (no DRAM commands, no bank
+    /// occupancy); used to isolate the relocation-latency overhead.
+    pub ideal_relocation: bool,
+    /// Maximum queued relocation jobs per bank before insertions are
+    /// skipped (bounds bank starvation under miss floods).
+    pub max_pending_jobs_per_bank: usize,
+    /// Seed for the `Random` replacement policy.
+    pub seed: u64,
+}
+
+impl FigCacheConfig {
+    /// The paper's `FIGCache-Fast` default: 64 cache rows per bank in two
+    /// fast subarrays, 1 kB segments, RowBenefit replacement,
+    /// insert-any-miss.
+    #[must_use]
+    pub fn paper_fast() -> Self {
+        Self {
+            cache_rows_per_bank: 64,
+            blocks_per_segment: 16,
+            region: CacheRegion::FastSubarrays,
+            replacement: ReplacementPolicy::RowBenefit,
+            insertion: InsertionPolicy::insert_any_miss(),
+            ideal_relocation: false,
+            max_pending_jobs_per_bank: 12,
+            seed: 0xF16A_0001,
+        }
+    }
+
+    /// The paper's `FIGCache-Slow` default: 64 reserved rows in the last
+    /// regular subarray.
+    #[must_use]
+    pub fn paper_slow() -> Self {
+        Self { region: CacheRegion::ReservedSlowRows, ..Self::paper_fast() }
+    }
+
+    /// `FIGCache-Ideal`: `paper_fast` with free relocation.
+    #[must_use]
+    pub fn paper_ideal() -> Self {
+        Self { ideal_relocation: true, ..Self::paper_fast() }
+    }
+
+    /// Bytes per segment given 64 B blocks.
+    #[must_use]
+    pub fn segment_bytes(&self) -> u32 {
+        self.blocks_per_segment * 64
+    }
+
+    /// Checks configuration consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cache_rows_per_bank == 0 {
+            return Err("cache_rows_per_bank must be non-zero".into());
+        }
+        if self.blocks_per_segment == 0 {
+            return Err("blocks_per_segment must be non-zero".into());
+        }
+        if self.insertion.miss_threshold == 0 {
+            return Err("miss_threshold must be at least 1".into());
+        }
+        if self.max_pending_jobs_per_bank == 0 {
+            return Err("max_pending_jobs_per_bank must be at least 1".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        FigCacheConfig::paper_fast().validate().unwrap();
+        FigCacheConfig::paper_slow().validate().unwrap();
+        FigCacheConfig::paper_ideal().validate().unwrap();
+    }
+
+    #[test]
+    fn paper_defaults_match_table1() {
+        let c = FigCacheConfig::paper_fast();
+        assert_eq!(c.cache_rows_per_bank, 64);
+        assert_eq!(c.segment_bytes(), 1024);
+        assert_eq!(c.replacement, ReplacementPolicy::RowBenefit);
+        assert_eq!(c.insertion.miss_threshold, 1);
+    }
+
+    #[test]
+    fn ideal_is_fast_plus_free_relocation() {
+        let c = FigCacheConfig::paper_ideal();
+        assert!(c.ideal_relocation);
+        assert_eq!(c.region, CacheRegion::FastSubarrays);
+    }
+
+    #[test]
+    fn validate_rejects_zero_threshold() {
+        let mut c = FigCacheConfig::paper_fast();
+        c.insertion.miss_threshold = 0;
+        assert!(c.validate().is_err());
+    }
+}

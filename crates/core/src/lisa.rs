@@ -1,0 +1,353 @@
+//! The LISA-VILLA baseline engine (Chang et al., HPCA 2016): a
+//! row-granularity in-DRAM cache over interleaved fast subarrays, filled by
+//! distance-dependent inter-subarray row clones.
+//!
+//! Contrast with FIGCache: LISA-VILLA always relocates an **entire** DRAM
+//! row, so a cached row's row-buffer locality is unchanged (only the fast
+//! subarray's reduced latency helps), and its relocation cost grows with
+//! the subarray hop distance — which is why it needs 16 interleaved fast
+//! subarrays per bank where FIGCache needs two (or none).
+
+use std::collections::{HashMap, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use figaro_dram::{Cycle, DramConfig, RowId};
+
+use crate::config::ReplacementPolicy;
+use crate::fts::{FtsBank, SlotState};
+use crate::job::{JobPurpose, RelocationJob};
+use crate::segment::SegmentId;
+use crate::traits::{CacheEngine, CacheStats, ServeTarget};
+
+/// LISA-VILLA configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LisaVillaConfig {
+    /// Cache rows per bank (the paper: 512 = 16 fast subarrays × 32 rows).
+    pub cache_rows_per_bank: u32,
+    /// Bound on queued clone jobs per bank.
+    pub max_pending_jobs_per_bank: usize,
+    /// Misses a row must accumulate before it is cloned into the cache
+    /// (VILLA's hot-row identification; cloning an 8 kB row on every miss
+    /// would swamp the banks).
+    pub miss_threshold: u32,
+    /// RNG seed (used only by the benefit tie-breaking policy plumbing).
+    pub seed: u64,
+}
+
+impl LisaVillaConfig {
+    /// The paper's LISA-VILLA setup: 512 cache rows per bank, hot rows
+    /// identified after two misses.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            cache_rows_per_bank: 512,
+            max_pending_jobs_per_bank: 8,
+            miss_threshold: 2,
+            seed: 0x115A_0001,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BankState {
+    /// Row-granularity tag store: an [`FtsBank`] with one slot per cache
+    /// row (so RowBenefit degenerates to per-row benefit, which is
+    /// VILLA's hot-row benefit tracking).
+    tags: FtsBank,
+    pending: VecDeque<RelocationJob>,
+    in_flight: HashMap<u64, Option<u32>>,
+    /// Miss counters for the hot-row threshold (cleared wholesale as a
+    /// coarse aging step when oversized).
+    miss_counts: HashMap<RowId, u32>,
+}
+
+/// The LISA-VILLA in-DRAM cache engine for one channel.
+#[derive(Debug)]
+pub struct LisaVillaEngine {
+    cfg: LisaVillaConfig,
+    banks: Vec<BankState>,
+    rng: StdRng,
+    stats: CacheStats,
+    next_job_id: u64,
+    cache_row_base: RowId,
+    blocks_per_row: u32,
+}
+
+impl LisaVillaEngine {
+    /// Builds the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the DRAM layout does not provide enough fast rows.
+    #[must_use]
+    pub fn new(dram: &DramConfig, cfg: &LisaVillaConfig, banks: u32) -> Self {
+        let layout = dram.layout;
+        let fast_rows = layout.fast_count() * layout.fast_rows_each();
+        assert!(
+            fast_rows >= cfg.cache_rows_per_bank,
+            "layout provides {fast_rows} fast rows but LISA-VILLA needs {}",
+            cfg.cache_rows_per_bank
+        );
+        let bank_states = (0..banks)
+            .map(|_| BankState {
+                tags: FtsBank::new(cfg.cache_rows_per_bank, 1),
+                pending: VecDeque::new(),
+                in_flight: HashMap::new(),
+                miss_counts: HashMap::new(),
+            })
+            .collect();
+        Self {
+            cfg: *cfg,
+            banks: bank_states,
+            rng: StdRng::seed_from_u64(cfg.seed),
+            stats: CacheStats::default(),
+            next_job_id: 0,
+            cache_row_base: layout.regular_rows(),
+            blocks_per_row: dram.geometry.blocks_per_row(),
+        }
+    }
+
+    /// The DRAM row id of cache slot `slot`.
+    #[must_use]
+    pub fn cache_row_id(&self, slot: u32) -> RowId {
+        self.cache_row_base + slot
+    }
+
+    fn tag_of(row: RowId) -> SegmentId {
+        SegmentId { row, index: 0 }
+    }
+}
+
+impl CacheEngine for LisaVillaEngine {
+    fn on_request(
+        &mut self,
+        bank: u32,
+        row: RowId,
+        col: u32,
+        is_write: bool,
+        open_row: Option<RowId>,
+        now: Cycle,
+    ) -> ServeTarget {
+        self.stats.lookups += 1;
+        let source = ServeTarget { row, col, cache_hit: false };
+        if row >= self.cache_row_base {
+            self.stats.uncacheable += 1;
+            return source;
+        }
+        let tag = Self::tag_of(row);
+        let state = &mut self.banks[bank as usize];
+        if let Some(slot) = state.tags.find(tag) {
+            match state.tags.slot(slot).state {
+                SlotState::Valid => {
+                    let dirty = state.tags.slot(slot).dirty;
+                    state.tags.touch_hit(slot, is_write, now);
+                    self.stats.hits += 1;
+                    // Open-row bypass (see `CacheEngine::on_request`).
+                    if !is_write && !dirty && open_row == Some(row) {
+                        self.stats.hits_bypassed += 1;
+                        return ServeTarget { row, col, cache_hit: true };
+                    }
+                    return ServeTarget { row: self.cache_row_base + slot, col, cache_hit: true };
+                }
+                SlotState::Relocating { .. } => {
+                    if is_write {
+                        state.tags.cancel_relocation(slot);
+                    }
+                    self.stats.misses += 1;
+                    return source;
+                }
+                SlotState::Free => unreachable!("mapped slot cannot be free"),
+            }
+        }
+        self.stats.misses += 1;
+        // Hot-row identification: clone only after `miss_threshold` misses.
+        if self.cfg.miss_threshold > 1 {
+            if state.miss_counts.len() > 65_536 {
+                state.miss_counts.clear();
+            }
+            let c = state.miss_counts.entry(row).or_insert(0);
+            *c += 1;
+            if *c < self.cfg.miss_threshold {
+                return source;
+            }
+            state.miss_counts.remove(&row);
+        }
+        if state.pending.len() >= self.cfg.max_pending_jobs_per_bank {
+            self.stats.insertions_skipped += 1;
+            return source;
+        }
+        let Some(alloc) = state.tags.allocate(tag, ReplacementPolicy::SegmentBenefit, &mut self.rng, now)
+        else {
+            self.stats.insertions_skipped += 1;
+            return source;
+        };
+        if let Some(victim) = alloc.victim {
+            if victim.dirty {
+                self.stats.evictions_dirty += 1;
+                let id = self.next_job_id;
+                self.next_job_id += 1;
+                let job = RelocationJob::lisa_clone(
+                    id,
+                    bank,
+                    JobPurpose::Writeback,
+                    self.cache_row_base + victim.slot,
+                    victim.seg.row,
+                );
+                state.in_flight.insert(id, None);
+                state.pending.push_back(job);
+            } else {
+                self.stats.evictions_clean += 1;
+            }
+        }
+        let id = self.next_job_id;
+        self.next_job_id += 1;
+        let job =
+            RelocationJob::lisa_clone(id, bank, JobPurpose::Insert, row, self.cache_row_base + alloc.slot);
+        state.in_flight.insert(id, Some(alloc.slot));
+        state.pending.push_back(job);
+        source
+    }
+
+    fn take_job(&mut self, bank: u32, _now: Cycle) -> Option<RelocationJob> {
+        self.banks[bank as usize].pending.pop_front()
+    }
+
+    fn next_job_source(&self, _bank: u32) -> Option<RowId> {
+        // LISA clones require a precharged bank; they are never cheap.
+        None
+    }
+
+    fn has_pending_job(&self, bank: u32) -> bool {
+        !self.banks[bank as usize].pending.is_empty()
+    }
+
+    fn on_job_complete(&mut self, bank: u32, job_id: u64, _now: Cycle) {
+        let slot = self.banks[bank as usize]
+            .in_flight
+            .remove(&job_id)
+            .expect("completion for unknown job");
+        self.stats.blocks_relocated += u64::from(self.blocks_per_row);
+        if let Some(slot) = slot {
+            if self.banks[bank as usize].tags.complete_relocation(slot) {
+                self.stats.insertions += 1;
+            } else {
+                self.stats.insertions_cancelled += 1;
+            }
+        }
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use figaro_dram::DramCommand;
+
+    fn lisa_dram() -> DramConfig {
+        DramConfig {
+            layout: figaro_dram::SubarrayLayout::homogeneous(64, 512).with_interleaved_fast(16, 32),
+            ..DramConfig::ddr4_paper_default()
+        }
+    }
+
+    fn engine() -> LisaVillaEngine {
+        LisaVillaEngine::new(&lisa_dram(), &LisaVillaConfig::paper_default(), 16)
+    }
+
+    fn run_job(e: &mut LisaVillaEngine, bank: u32, open: Option<RowId>) -> Vec<DramCommand> {
+        let mut job = e.take_job(bank, 0).expect("pending job");
+        let mut open_row = open;
+        let mut cmds = Vec::new();
+        while let Some(cmd) = job.peek(open_row, false) {
+            if matches!(cmd, DramCommand::Precharge) {
+                open_row = None;
+            }
+            job.on_issued(&cmd);
+            cmds.push(cmd);
+        }
+        e.on_job_complete(bank, job.id, 10);
+        cmds
+    }
+
+    #[test]
+    fn miss_clones_whole_row_then_hits_redirect() {
+        let mut e = engine();
+        let t = e.on_request(0, 1000, 5, false, None, 0);
+        assert!(!t.cache_hit);
+        assert!(!e.has_pending_job(0), "first miss only counts toward the hot-row threshold");
+        let t = e.on_request(0, 1000, 6, false, None, 0);
+        assert!(!t.cache_hit);
+        let cmds = run_job(&mut e, 0, None);
+        assert_eq!(cmds.len(), 1);
+        assert!(matches!(cmds[0], DramCommand::LisaClone { src_row: 1000, .. }));
+        // Any column of the row now hits.
+        let t1 = e.on_request(0, 1000, 99, false, None, 1);
+        assert!(t1.cache_hit);
+        assert_eq!(t1.row, 64 * 512); // first cache row
+        assert_eq!(t1.col, 99); // column unchanged: whole row cached
+        assert_eq!(e.stats().blocks_relocated, 128);
+    }
+
+    #[test]
+    fn different_rows_fill_different_slots() {
+        let mut e = engine();
+        e.on_request(0, 10, 0, false, None, 0);
+        e.on_request(0, 10, 1, false, None, 0);
+        run_job(&mut e, 0, None);
+        e.on_request(0, 20, 0, false, None, 1);
+        e.on_request(0, 20, 1, false, None, 1);
+        run_job(&mut e, 0, None);
+        let a = e.on_request(0, 10, 0, false, None, 2);
+        let b = e.on_request(0, 20, 0, false, None, 3);
+        assert!(a.cache_hit && b.cache_hit);
+        assert_ne!(a.row, b.row);
+    }
+
+    #[test]
+    fn dirty_row_eviction_schedules_writeback_clone() {
+        let dram = lisa_dram();
+        let cfg = LisaVillaConfig { cache_rows_per_bank: 2, ..LisaVillaConfig::paper_default() };
+        let mut e = LisaVillaEngine::new(&dram, &cfg, 16);
+        for r in [10u32, 20] {
+            e.on_request(0, r, 0, false, None, 0);
+            e.on_request(0, r, 1, false, None, 0);
+            run_job(&mut e, 0, None);
+            e.on_request(0, r, 0, true, None, 1); // dirty the cached row
+        }
+        e.on_request(0, 30, 0, false, None, 2);
+        e.on_request(0, 30, 1, false, None, 2);
+        let wb = e.take_job(0, 2).unwrap();
+        assert_eq!(wb.purpose, JobPurpose::Writeback);
+        assert!(matches!(wb.kind, crate::job::JobKind::LisaClone { dst_row: 10, .. } | crate::job::JobKind::LisaClone { dst_row: 20, .. }));
+        let ins = e.take_job(0, 2).unwrap();
+        assert_eq!(ins.purpose, JobPurpose::Insert);
+        assert_eq!(e.stats().evictions_dirty, 1);
+    }
+
+    #[test]
+    fn cache_rows_are_not_cacheable_sources() {
+        let mut e = engine();
+        let fast_row = 64 * 512 + 3;
+        let t = e.on_request(0, fast_row, 0, false, None, 0);
+        assert!(!t.cache_hit);
+        assert!(!e.has_pending_job(0));
+        assert_eq!(e.stats().uncacheable, 1);
+    }
+
+    #[test]
+    fn write_during_clone_cancels() {
+        let mut e = engine();
+        e.on_request(0, 10, 0, false, None, 0);
+        e.on_request(0, 10, 1, false, None, 0); // crosses the threshold
+        e.on_request(0, 10, 2, true, None, 1);
+        run_job(&mut e, 0, None);
+        assert_eq!(e.stats().insertions_cancelled, 1);
+        let t = e.on_request(0, 10, 0, false, None, 2);
+        assert!(!t.cache_hit);
+    }
+}

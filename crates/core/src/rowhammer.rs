@@ -1,0 +1,130 @@
+//! Activation-frequency monitoring for the Section 6 security analysis.
+//!
+//! RowHammer pressure is proportional to how often individual rows are
+//! activated within a refresh window. FIGCache reduces that frequency for
+//! hot data by gathering frequently-accessed segments into a small number
+//! of cache rows, so the victim rows' neighbours stop being hammered.
+//! [`RowHammerMonitor`] measures exactly this: per-(bank, row) activation
+//! counts within sliding windows, and the worst count ever observed.
+
+use std::collections::HashMap;
+
+use figaro_dram::{Cycle, RowId};
+
+/// Sliding-window activation counter.
+#[derive(Debug, Clone)]
+pub struct RowHammerMonitor {
+    window: Cycle,
+    window_start: Cycle,
+    counts: HashMap<(u32, RowId), u32>,
+    max_in_any_window: u32,
+    max_row: Option<(u32, RowId)>,
+    total_acts: u64,
+}
+
+impl RowHammerMonitor {
+    /// Creates a monitor with a `window`-cycle observation window
+    /// (a DDR4 refresh window is 64 ms ≈ 51.2 M bus cycles; experiments
+    /// usually pass something smaller to match their simulated duration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn new(window: Cycle) -> Self {
+        assert!(window > 0, "window must be non-zero");
+        Self {
+            window,
+            window_start: 0,
+            counts: HashMap::new(),
+            max_in_any_window: 0,
+            max_row: None,
+            total_acts: 0,
+        }
+    }
+
+    /// Records an `ACTIVATE` of (`bank`, `row`) at cycle `now`.
+    pub fn record_act(&mut self, bank: u32, row: RowId, now: Cycle) {
+        if now.saturating_sub(self.window_start) >= self.window {
+            self.counts.clear();
+            self.window_start = now - (now - self.window_start) % self.window;
+        }
+        let c = self.counts.entry((bank, row)).or_insert(0);
+        *c += 1;
+        self.total_acts += 1;
+        if *c > self.max_in_any_window {
+            self.max_in_any_window = *c;
+            self.max_row = Some((bank, row));
+        }
+    }
+
+    /// The highest per-row activation count seen in any window — the
+    /// quantity a RowHammer threshold is compared against.
+    #[must_use]
+    pub fn max_acts_per_window(&self) -> u32 {
+        self.max_in_any_window
+    }
+
+    /// The (bank, row) that reached [`Self::max_acts_per_window`].
+    #[must_use]
+    pub fn hottest_row(&self) -> Option<(u32, RowId)> {
+        self.max_row
+    }
+
+    /// Total activations recorded.
+    #[must_use]
+    pub fn total_acts(&self) -> u64 {
+        self.total_acts
+    }
+
+    /// Rows activated in the current window.
+    #[must_use]
+    pub fn distinct_rows_in_window(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_acts_per_row() {
+        let mut m = RowHammerMonitor::new(1000);
+        for i in 0..10 {
+            m.record_act(0, 5, i);
+        }
+        m.record_act(0, 6, 11);
+        assert_eq!(m.max_acts_per_window(), 10);
+        assert_eq!(m.hottest_row(), Some((0, 5)));
+        assert_eq!(m.total_acts(), 11);
+        assert_eq!(m.distinct_rows_in_window(), 2);
+    }
+
+    #[test]
+    fn window_roll_over_resets_counts_but_keeps_max() {
+        let mut m = RowHammerMonitor::new(100);
+        for i in 0..5 {
+            m.record_act(0, 5, i);
+        }
+        // Next window.
+        m.record_act(0, 5, 150);
+        assert_eq!(m.distinct_rows_in_window(), 1);
+        assert_eq!(m.max_acts_per_window(), 5, "historical max survives the roll-over");
+    }
+
+    #[test]
+    fn banks_are_distinct() {
+        let mut m = RowHammerMonitor::new(1000);
+        m.record_act(0, 5, 0);
+        m.record_act(1, 5, 1);
+        assert_eq!(m.max_acts_per_window(), 1);
+        assert_eq!(m.distinct_rows_in_window(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_window_panics() {
+        let _ = RowHammerMonitor::new(0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Row segments: the fine caching granularity FIGARO enables.
+//!
+//! A *row segment* is a contiguous run of cache blocks within one DRAM row
+//! (the paper's default: 1/8th of an 8 kB row = 16 blocks = 1 kB). FIGCache
+//! caches at segment granularity, so one in-DRAM cache row can hold
+//! segments from several different source rows.
+
+use figaro_dram::RowId;
+
+/// Identity of one row segment within one bank: the source row plus the
+/// segment index within that row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegmentId {
+    /// Source DRAM row.
+    pub row: RowId,
+    /// Segment index within the row (`0..segments_per_row`).
+    pub index: u32,
+}
+
+/// Static segment geometry shared by the tag store and the engines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentGeometry {
+    /// Cache blocks per segment (the paper's default: 16 → 1 kB).
+    pub blocks_per_segment: u32,
+    /// Cache blocks per DRAM row (8 kB row / 64 B block = 128).
+    pub blocks_per_row: u32,
+}
+
+impl SegmentGeometry {
+    /// Builds the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `blocks_per_segment` divides `blocks_per_row` and both
+    /// are non-zero.
+    #[must_use]
+    pub fn new(blocks_per_segment: u32, blocks_per_row: u32) -> Self {
+        assert!(blocks_per_segment > 0 && blocks_per_row > 0);
+        assert!(
+            blocks_per_row % blocks_per_segment == 0,
+            "segment size ({blocks_per_segment} blocks) must divide the row ({blocks_per_row} blocks)"
+        );
+        Self { blocks_per_segment, blocks_per_row }
+    }
+
+    /// Segments per DRAM row.
+    #[must_use]
+    pub fn segments_per_row(&self) -> u32 {
+        self.blocks_per_row / self.blocks_per_segment
+    }
+
+    /// The segment containing column `col` of `row`.
+    #[must_use]
+    pub fn segment_of(&self, row: RowId, col: u32) -> SegmentId {
+        SegmentId { row, index: col / self.blocks_per_segment }
+    }
+
+    /// First column of `segment` within its source row.
+    #[must_use]
+    pub fn first_col(&self, segment: SegmentId) -> u32 {
+        segment.index * self.blocks_per_segment
+    }
+
+    /// Offset of `col` within its segment.
+    #[must_use]
+    pub fn col_offset(&self, col: u32) -> u32 {
+        col % self.blocks_per_segment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_has_eight_segments_per_row() {
+        let g = SegmentGeometry::new(16, 128);
+        assert_eq!(g.segments_per_row(), 8);
+    }
+
+    #[test]
+    fn segment_of_maps_columns_to_segments() {
+        let g = SegmentGeometry::new(16, 128);
+        assert_eq!(g.segment_of(7, 0), SegmentId { row: 7, index: 0 });
+        assert_eq!(g.segment_of(7, 15), SegmentId { row: 7, index: 0 });
+        assert_eq!(g.segment_of(7, 16), SegmentId { row: 7, index: 1 });
+        assert_eq!(g.segment_of(7, 127), SegmentId { row: 7, index: 7 });
+    }
+
+    #[test]
+    fn first_col_and_offset_reconstruct_col() {
+        let g = SegmentGeometry::new(16, 128);
+        for col in [0u32, 1, 15, 16, 100, 127] {
+            let s = g.segment_of(3, col);
+            assert_eq!(g.first_col(s) + g.col_offset(col), col);
+        }
+    }
+
+    #[test]
+    fn whole_row_segments_work() {
+        let g = SegmentGeometry::new(128, 128);
+        assert_eq!(g.segments_per_row(), 1);
+        assert_eq!(g.segment_of(1, 127).index, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn non_dividing_segment_size_panics() {
+        let _ = SegmentGeometry::new(24, 128);
+    }
+}

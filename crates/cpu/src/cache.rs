@@ -1,0 +1,269 @@
+//! A set-associative, write-back, write-allocate cache with LRU
+//! replacement.
+
+/// Geometry and latency of one cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheParams {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity.
+    pub ways: u32,
+    /// Block size in bytes.
+    pub block_bytes: u32,
+    /// Lookup latency in CPU cycles.
+    pub latency: u32,
+}
+
+impl CacheParams {
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not a power-of-two split.
+    #[must_use]
+    pub fn sets(&self) -> u64 {
+        let sets = self.size_bytes / u64::from(self.block_bytes) / u64::from(self.ways);
+        assert!(sets > 0 && sets.is_power_of_two(), "cache sets must be a non-zero power of two");
+        sets
+    }
+}
+
+/// Hit/miss/eviction counters of one cache level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Demand accesses.
+    pub accesses: u64,
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Lines evicted by fills.
+    pub evictions: u64,
+    /// Evicted lines that were dirty (writebacks generated).
+    pub dirty_evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate over demand accesses.
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    lru: u64,
+}
+
+/// One set-associative cache level.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    params: CacheParams,
+    sets: u64,
+    block_bits: u32,
+    lines: Vec<Line>,
+    clock: u64,
+    /// Counters (public: the hierarchy reports them).
+    pub stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Builds the cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not a power-of-two split.
+    #[must_use]
+    pub fn new(params: CacheParams) -> Self {
+        let sets = params.sets();
+        Self {
+            params,
+            sets,
+            block_bits: params.block_bytes.trailing_zeros(),
+            lines: vec![Line::default(); (sets * u64::from(params.ways)) as usize],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache's parameters.
+    #[must_use]
+    pub fn params(&self) -> &CacheParams {
+        &self.params
+    }
+
+    fn index(&self, addr: u64) -> (u64, u64) {
+        let block = addr >> self.block_bits;
+        (block % self.sets, block / self.sets)
+    }
+
+    fn set_lines(&mut self, set: u64) -> &mut [Line] {
+        let ways = self.params.ways as usize;
+        let base = set as usize * ways;
+        &mut self.lines[base..base + ways]
+    }
+
+    /// Demand access; returns `true` on hit. Write hits mark the line
+    /// dirty. Misses do **not** allocate (use [`SetAssocCache::fill`] when
+    /// the data arrives).
+    pub fn access(&mut self, addr: u64, is_write: bool) -> bool {
+        self.clock += 1;
+        let clock = self.clock;
+        let (set, tag) = self.index(addr);
+        self.stats.accesses += 1;
+        for line in self.set_lines(set) {
+            if line.valid && line.tag == tag {
+                line.lru = clock;
+                if is_write {
+                    line.dirty = true;
+                }
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Checks presence without updating any state.
+    #[must_use]
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.index(addr);
+        let ways = self.params.ways as usize;
+        let base = set as usize * ways;
+        self.lines[base..base + ways].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Inserts `addr`'s block (LRU victim). Returns the evicted block's
+    /// address if the victim was dirty (the caller writes it back).
+    pub fn fill(&mut self, addr: u64, dirty: bool) -> Option<u64> {
+        self.clock += 1;
+        let clock = self.clock;
+        let (set, tag) = self.index(addr);
+        let sets = self.sets;
+        let block_bits = self.block_bits;
+        let lines = self.set_lines(set);
+        // Already present (e.g. a racing fill): just update.
+        if let Some(line) = lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = clock;
+            line.dirty |= dirty;
+            return None;
+        }
+        let victim = lines
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("ways > 0");
+        let mut writeback = None;
+        let mut evicted = false;
+        let mut evicted_dirty = false;
+        if victim.valid {
+            evicted = true;
+            if victim.dirty {
+                evicted_dirty = true;
+                writeback = Some((victim.tag * sets + set) << block_bits);
+            }
+        }
+        *victim = Line { tag, valid: true, dirty, lru: clock };
+        if evicted {
+            self.stats.evictions += 1;
+        }
+        if evicted_dirty {
+            self.stats.dirty_evictions += 1;
+        }
+        writeback
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> SetAssocCache {
+        SetAssocCache::new(CacheParams { size_bytes: 1024, ways: 2, block_bytes: 64, latency: 1 })
+    }
+
+    #[test]
+    fn paper_l1_geometry() {
+        let c = SetAssocCache::new(CacheParams {
+            size_bytes: 64 * 1024,
+            ways: 4,
+            block_bytes: 64,
+            latency: 4,
+        });
+        assert_eq!(c.params().sets(), 256);
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = small();
+        assert!(!c.access(0x40, false));
+        assert_eq!(c.fill(0x40, false), None);
+        assert!(c.access(0x40, false));
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = small(); // 8 sets x 2 ways
+        let set_stride = 8 * 64;
+        c.fill(0, false);
+        c.fill(set_stride as u64, false); // same set, way 2
+        c.access(0, false); // refresh line 0
+        let wb = c.fill(2 * set_stride as u64, false); // evicts set_stride line
+        assert_eq!(wb, None);
+        assert!(c.probe(0));
+        assert!(!c.probe(set_stride as u64));
+        assert!(c.probe(2 * set_stride as u64));
+    }
+
+    #[test]
+    fn dirty_eviction_returns_victim_address() {
+        let mut c = small();
+        let set_stride = 8 * 64u64;
+        c.fill(0x40, false);
+        c.access(0x40, true); // dirty it
+        c.fill(0x40 + set_stride, false);
+        let wb = c.fill(0x40 + 2 * set_stride, false);
+        assert_eq!(wb, Some(0x40));
+        assert_eq!(c.stats.dirty_evictions, 1);
+    }
+
+    #[test]
+    fn fill_of_present_line_merges_dirty() {
+        let mut c = small();
+        c.fill(0x40, false);
+        c.fill(0x40, true);
+        let set_stride = 8 * 64u64;
+        c.fill(0x40 + set_stride, false);
+        let wb = c.fill(0x40 + 2 * set_stride, false);
+        assert_eq!(wb, Some(0x40), "merged dirty bit must survive");
+    }
+
+    #[test]
+    fn probe_does_not_touch_lru() {
+        let mut c = small();
+        c.fill(0, false);
+        let set_stride = 8 * 64u64;
+        c.fill(set_stride, false);
+        // Probing line 0 must not rescue it from eviction.
+        assert!(c.probe(0));
+        c.access(set_stride, false);
+        c.fill(2 * set_stride, false);
+        assert!(!c.probe(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_geometry_panics() {
+        let _ = SetAssocCache::new(CacheParams { size_bytes: 192, ways: 1, block_bytes: 64, latency: 1 });
+    }
+}

@@ -1,0 +1,329 @@
+//! The trace-driven core model: 3-wide issue/retire over a 256-entry
+//! instruction window (the paper's Table 1 core).
+//!
+//! Modelled in the style of Ramulator's `Processor`: non-memory
+//! instructions occupy window slots and retire at full width; loads hold
+//! their slot until data returns (blocking retirement when they reach the
+//! window head); stores are posted. The window plus per-core MSHRs bound
+//! the memory-level parallelism.
+
+use std::collections::{HashMap, VecDeque};
+
+use figaro_workloads::{Trace, TraceOp};
+
+use crate::hierarchy::{Access, CacheHierarchy};
+
+/// Core width/window parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreParams {
+    /// Instructions issued/retired per cycle.
+    pub width: usize,
+    /// Instruction-window (ROB) capacity.
+    pub window: usize,
+}
+
+impl CoreParams {
+    /// The paper's 3-wide, 256-entry configuration.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self { width: 3, window: 256 }
+    }
+}
+
+/// End-of-run statistics for one core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Instructions retired.
+    pub retired: u64,
+    /// Memory operations sent to the hierarchy.
+    pub mem_ops: u64,
+    /// Loads that missed past the LLC (waited on DRAM).
+    pub long_loads: u64,
+    /// Cycles the core could not issue due to a full window.
+    pub window_full_cycles: u64,
+    /// Cycles lost to hierarchy structural stalls.
+    pub stall_cycles: u64,
+}
+
+/// A trace-driven core. Drive it with [`TraceCore::tick`] once per CPU
+/// cycle, and deliver load data with [`TraceCore::wake`].
+#[derive(Debug)]
+pub struct TraceCore {
+    params: CoreParams,
+    trace: Trace,
+    id: usize,
+    pos: usize,
+    /// Non-memory instructions still to issue before the next memory op.
+    nonmem_left: u32,
+    /// The memory op awaiting issue (set when its leading non-memory
+    /// instructions have been consumed, or on a structural stall).
+    pending_mem: Option<TraceOp>,
+    /// ready-at times of window entries, indexed by `seq - head_seq`.
+    window: VecDeque<u64>,
+    head_seq: u64,
+    tail_seq: u64,
+    token_seq: HashMap<u64, u64>,
+    target_insts: u64,
+    finished_at: Option<u64>,
+    stats: CoreStats,
+}
+
+/// Sentinel ready-at for loads still in flight.
+const WAITING: u64 = u64::MAX;
+
+impl TraceCore {
+    /// Creates a core that will execute `target_insts` instructions from
+    /// `trace` (wrapping around the trace as needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trace or zero instruction target.
+    #[must_use]
+    pub fn new(id: usize, params: CoreParams, trace: Trace, target_insts: u64) -> Self {
+        assert!(!trace.ops.is_empty(), "trace must be non-empty");
+        assert!(target_insts > 0, "target_insts must be non-zero");
+        Self {
+            params,
+            trace,
+            id,
+            pos: 0,
+            nonmem_left: 0,
+            pending_mem: None,
+            window: VecDeque::with_capacity(params.window),
+            head_seq: 0,
+            tail_seq: 0,
+            token_seq: HashMap::new(),
+            target_insts,
+            finished_at: None,
+            stats: CoreStats::default(),
+        }
+    }
+
+    /// Whether the core has retired its instruction target.
+    #[must_use]
+    pub fn finished(&self) -> bool {
+        self.finished_at.is_some()
+    }
+
+    /// Cycle at which the core finished, if it has.
+    #[must_use]
+    pub fn finished_at(&self) -> Option<u64> {
+        self.finished_at
+    }
+
+    /// Instructions retired so far.
+    #[must_use]
+    pub fn retired(&self) -> u64 {
+        self.stats.retired
+    }
+
+    /// This core's id (its index in the hierarchy).
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Statistics snapshot.
+    #[must_use]
+    pub fn stats(&self) -> CoreStats {
+        self.stats
+    }
+
+    /// Delivers load data for `token` (from
+    /// [`CacheHierarchy::on_completion`]) usable at cycle `ready_at`.
+    pub fn wake(&mut self, token: u64, ready_at: u64) {
+        if let Some(seq) = self.token_seq.remove(&token) {
+            if seq >= self.head_seq {
+                let idx = (seq - self.head_seq) as usize;
+                self.window[idx] = ready_at;
+            }
+        }
+    }
+
+    fn next_op(&mut self) -> TraceOp {
+        let op = self.trace.ops[self.pos];
+        self.pos = (self.pos + 1) % self.trace.ops.len();
+        op
+    }
+
+    /// Advances one CPU cycle: retires up to `width` ready instructions
+    /// from the window head, then issues up to `width` new instructions,
+    /// sending memory operations to `hierarchy`.
+    pub fn tick(&mut self, now: u64, hierarchy: &mut CacheHierarchy) {
+        if self.finished_at.is_some() {
+            return;
+        }
+        // Retire.
+        let mut retired_this_cycle = 0;
+        while retired_this_cycle < self.params.width {
+            match self.window.front() {
+                Some(&ready) if ready <= now => {
+                    self.window.pop_front();
+                    self.head_seq += 1;
+                    self.stats.retired += 1;
+                    retired_this_cycle += 1;
+                    if self.stats.retired >= self.target_insts {
+                        self.finished_at = Some(now);
+                        return;
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Issue.
+        let mut issued = 0;
+        while issued < self.params.width {
+            if self.window.len() >= self.params.window {
+                self.stats.window_full_cycles += 1;
+                break;
+            }
+            if self.nonmem_left > 0 {
+                self.nonmem_left -= 1;
+                self.window.push_back(now);
+                self.tail_seq += 1;
+                issued += 1;
+                continue;
+            }
+            let op = match self.pending_mem.take() {
+                Some(op) => op,
+                None => {
+                    let op = self.next_op();
+                    if op.nonmem > 0 {
+                        self.nonmem_left = op.nonmem;
+                        self.pending_mem = Some(op);
+                        continue; // issue the non-memory prefix first
+                    }
+                    op
+                }
+            };
+            match hierarchy.access(self.id, op.addr, op.is_write, now) {
+                Access::Hit { ready_at } => {
+                    self.stats.mem_ops += 1;
+                    self.window.push_back(ready_at);
+                    self.tail_seq += 1;
+                    issued += 1;
+                }
+                Access::Pending { token } => {
+                    self.stats.mem_ops += 1;
+                    self.stats.long_loads += 1;
+                    self.token_seq.insert(token, self.tail_seq);
+                    self.window.push_back(WAITING);
+                    self.tail_seq += 1;
+                    issued += 1;
+                }
+                Access::Stall => {
+                    self.pending_mem = Some(TraceOp { nonmem: 0, ..op });
+                    self.stats.stall_cycles += 1;
+                    break;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hierarchy::HierarchyConfig;
+    use figaro_workloads::TraceOp;
+
+    fn tiny_trace(ops: Vec<TraceOp>) -> Trace {
+        Trace { name: "test".into(), ops }
+    }
+
+    fn run(core: &mut TraceCore, h: &mut CacheHierarchy, cycles: u64) -> u64 {
+        // Single-core harness with an idealized memory: completions return
+        // after a fixed 50-cycle latency.
+        let mut in_flight: Vec<(u64, u64)> = Vec::new(); // (req_id, due)
+        for now in 0..cycles {
+            core.tick(now, h);
+            for r in h.take_outgoing().collect::<Vec<_>>() {
+                if !r.is_write {
+                    in_flight.push((r.id, now + 50));
+                }
+            }
+            let due: Vec<u64> = in_flight
+                .iter()
+                .filter(|&&(_, d)| d <= now)
+                .map(|&(id, _)| id)
+                .collect();
+            in_flight.retain(|&(_, d)| d > now);
+            for id in due {
+                for token in h.on_completion(id) {
+                    core.wake(token, now + 4);
+                }
+            }
+            if core.finished() {
+                return now;
+            }
+        }
+        panic!("core did not finish in {cycles} cycles (retired {})", core.retired());
+    }
+
+    #[test]
+    fn pure_nonmem_trace_runs_at_full_width() {
+        // 299 non-memory + 1 memory instruction per op; memory always hits
+        // after the first fill.
+        let trace = tiny_trace(vec![TraceOp { nonmem: 299, addr: 0, is_write: false }]);
+        let mut h = CacheHierarchy::new(HierarchyConfig::paper_default(1), 1);
+        let mut core = TraceCore::new(0, CoreParams::paper_default(), trace, 30_000);
+        let cycles = run(&mut core, &mut h, 200_000);
+        let ipc = 30_000.0 / cycles as f64;
+        assert!(ipc > 2.5, "IPC {ipc} should approach width 3");
+    }
+
+    #[test]
+    fn dependent_long_loads_limit_ipc() {
+        // Every op is a load to a new block with no non-memory work: the
+        // window fills with waiting loads.
+        let ops: Vec<TraceOp> = (0..4096)
+            .map(|i| TraceOp { nonmem: 0, addr: i * 64 * 131, is_write: false })
+            .collect();
+        let trace = tiny_trace(ops);
+        let mut h = CacheHierarchy::new(HierarchyConfig::paper_default(1), 1);
+        let mut core = TraceCore::new(0, CoreParams::paper_default(), trace, 3_000);
+        let cycles = run(&mut core, &mut h, 400_000);
+        let ipc = 3_000.0 / cycles as f64;
+        assert!(ipc < 1.0, "all-miss IPC {ipc} must be low");
+        assert!(core.stats().long_loads > 0);
+    }
+
+    #[test]
+    fn finished_core_stops_ticking() {
+        let trace = tiny_trace(vec![TraceOp { nonmem: 10, addr: 0, is_write: false }]);
+        let mut h = CacheHierarchy::new(HierarchyConfig::paper_default(1), 1);
+        let mut core = TraceCore::new(0, CoreParams::paper_default(), trace, 100);
+        let at = run(&mut core, &mut h, 100_000);
+        assert!(core.finished());
+        assert_eq!(core.finished_at(), Some(at));
+        let retired = core.retired();
+        core.tick(at + 1, &mut h);
+        assert_eq!(core.retired(), retired);
+    }
+
+    #[test]
+    fn trace_wraps_around() {
+        let trace = tiny_trace(vec![TraceOp { nonmem: 1, addr: 0, is_write: false }]);
+        let mut h = CacheHierarchy::new(HierarchyConfig::paper_default(1), 1);
+        // 2 instructions per op; ask for 1000 -> needs 500 wraps.
+        let mut core = TraceCore::new(0, CoreParams::paper_default(), trace, 1000);
+        run(&mut core, &mut h, 100_000);
+        assert_eq!(core.retired(), 1000);
+    }
+
+    #[test]
+    fn stores_do_not_block_retirement() {
+        let ops = vec![TraceOp { nonmem: 2, addr: 4096, is_write: true }];
+        let mut h = CacheHierarchy::new(HierarchyConfig::paper_default(1), 1);
+        let mut core = TraceCore::new(0, CoreParams::paper_default(), tiny_trace(ops), 3_000);
+        let cycles = run(&mut core, &mut h, 100_000);
+        let ipc = 3_000.0 / cycles as f64;
+        assert!(ipc > 2.0, "posted stores should keep IPC near width, got {ipc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_trace_panics() {
+        let _ = TraceCore::new(0, CoreParams::paper_default(), tiny_trace(vec![]), 10);
+    }
+}

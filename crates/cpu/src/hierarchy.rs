@@ -1,0 +1,411 @@
+//! The three-level cache hierarchy with per-core MSHRs.
+//!
+//! Private L1/L2 per core, one shared LLC. Misses past the LLC allocate an
+//! MSHR entry (merging same-block misses from the same core) and emit a
+//! fill request toward the memory controllers; fills propagate back
+//! through LLC → L2 → L1, pushing dirty victims downward (ultimately as
+//! write requests to DRAM).
+
+use std::collections::{HashMap, VecDeque};
+
+use figaro_dram::PhysAddr;
+use figaro_memctrl::Request;
+
+use crate::cache::{CacheParams, CacheStats, SetAssocCache};
+
+/// Hierarchy configuration (paper Table 1 defaults via
+/// [`HierarchyConfig::paper_default`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// Private L1 (per core).
+    pub l1: CacheParams,
+    /// Private L2 (per core).
+    pub l2: CacheParams,
+    /// Shared LLC (total size; callers scale by core count).
+    pub llc: CacheParams,
+    /// MSHRs per core (outstanding LLC misses).
+    pub mshrs_per_core: usize,
+    /// Extra CPU cycles from LLC data arrival to the waiting load
+    /// (fill-to-use).
+    pub fill_latency: u32,
+}
+
+impl HierarchyConfig {
+    /// The paper's hierarchy for `cores` cores: L1 64 kB 4-way (4 cycles),
+    /// L2 256 kB 8-way (12 cycles), shared LLC 2 MB/core 16-way
+    /// (38 cycles), 8 MSHRs/core.
+    #[must_use]
+    pub fn paper_default(cores: usize) -> Self {
+        Self {
+            l1: CacheParams { size_bytes: 64 << 10, ways: 4, block_bytes: 64, latency: 4 },
+            l2: CacheParams { size_bytes: 256 << 10, ways: 8, block_bytes: 64, latency: 12 },
+            llc: CacheParams {
+                size_bytes: (2 << 20) * cores as u64,
+                ways: 16,
+                block_bytes: 64,
+                latency: 38,
+            },
+            mshrs_per_core: 8,
+            fill_latency: 4,
+        }
+    }
+}
+
+/// Outcome of a demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// Served by some cache level; data usable at `ready_at` (CPU cycles).
+    Hit {
+        /// CPU cycle the data is available.
+        ready_at: u64,
+    },
+    /// LLC miss in flight; `token` will be woken via
+    /// [`CacheHierarchy::on_completion`].
+    Pending {
+        /// Wake-up token.
+        token: u64,
+    },
+    /// Structural stall (MSHRs full); retry next cycle.
+    Stall,
+}
+
+#[derive(Debug)]
+struct MshrEntry {
+    waiters: Vec<u64>,
+    store: bool,
+}
+
+/// Aggregated hierarchy statistics.
+#[derive(Debug, Clone, Default)]
+pub struct HierarchyStats {
+    /// Per-core L1 counters.
+    pub l1: Vec<CacheStats>,
+    /// Per-core L2 counters.
+    pub l2: Vec<CacheStats>,
+    /// Shared LLC counters.
+    pub llc: CacheStats,
+    /// LLC misses (fills requested) per core — the MPKI numerator.
+    pub llc_misses_per_core: Vec<u64>,
+    /// Misses merged into an existing MSHR entry.
+    pub mshr_merges: u64,
+    /// Accesses rejected because the core's MSHRs were full.
+    pub mshr_stalls: u64,
+}
+
+/// The shared cache hierarchy.
+#[derive(Debug)]
+pub struct CacheHierarchy {
+    cfg: HierarchyConfig,
+    l1: Vec<SetAssocCache>,
+    l2: Vec<SetAssocCache>,
+    llc: SetAssocCache,
+    mshrs: Vec<HashMap<u64, MshrEntry>>,
+    req_map: HashMap<u64, (usize, u64)>,
+    outbox: VecDeque<Request>,
+    next_req_id: u64,
+    next_token: u64,
+    llc_misses_per_core: Vec<u64>,
+    mshr_merges: u64,
+    mshr_stalls: u64,
+}
+
+impl CacheHierarchy {
+    /// Builds the hierarchy for `cores` cores.
+    #[must_use]
+    pub fn new(cfg: HierarchyConfig, cores: usize) -> Self {
+        Self {
+            cfg,
+            l1: (0..cores).map(|_| SetAssocCache::new(cfg.l1)).collect(),
+            l2: (0..cores).map(|_| SetAssocCache::new(cfg.l2)).collect(),
+            llc: SetAssocCache::new(cfg.llc),
+            mshrs: (0..cores).map(|_| HashMap::new()).collect(),
+            req_map: HashMap::new(),
+            outbox: VecDeque::new(),
+            next_req_id: 0,
+            next_token: 0,
+            llc_misses_per_core: vec![0; cores],
+            mshr_merges: 0,
+            mshr_stalls: 0,
+        }
+    }
+
+    fn block_of(&self, addr: u64) -> u64 {
+        addr & !u64::from(self.cfg.l1.block_bytes - 1)
+    }
+
+    /// Demand access from `core`. Loads may return [`Access::Pending`];
+    /// stores are posted, so they return [`Access::Hit`] even when the
+    /// line is being fetched (the MSHR records that the eventual fill must
+    /// be dirty). [`Access::Stall`] means the core must retry.
+    pub fn access(&mut self, core: usize, addr: u64, is_write: bool, now: u64) -> Access {
+        let block = self.block_of(addr);
+        let lat1 = u64::from(self.cfg.l1.latency);
+        if self.l1[core].access(block, is_write) {
+            return Access::Hit { ready_at: now + lat1 };
+        }
+        let lat2 = lat1 + u64::from(self.cfg.l2.latency);
+        if self.l2[core].access(block, false) {
+            self.fill_l1(core, block, is_write);
+            return Access::Hit { ready_at: now + lat2 };
+        }
+        let lat3 = lat2 + u64::from(self.cfg.llc.latency);
+        if self.llc.access(block, false) {
+            self.fill_l2(core, block);
+            self.fill_l1(core, block, is_write);
+            return Access::Hit { ready_at: now + lat3 };
+        }
+        // LLC miss → MSHR.
+        if let Some(entry) = self.mshrs[core].get_mut(&block) {
+            entry.store |= is_write;
+            self.mshr_merges += 1;
+            if is_write {
+                return Access::Hit { ready_at: now + lat1 }; // posted
+            }
+            let token = self.next_token;
+            self.next_token += 1;
+            entry.waiters.push(token);
+            return Access::Pending { token };
+        }
+        if self.mshrs[core].len() >= self.cfg.mshrs_per_core {
+            self.mshr_stalls += 1;
+            return Access::Stall;
+        }
+        let req_id = self.next_req_id;
+        self.next_req_id += 1;
+        self.llc_misses_per_core[core] += 1;
+        self.outbox.push_back(Request {
+            id: req_id,
+            addr: PhysAddr(block),
+            is_write: false,
+            core: core as u8,
+            arrival: 0, // stamped by the sim when it reaches the controller
+        });
+        self.req_map.insert(req_id, (core, block));
+        let mut entry = MshrEntry { waiters: Vec::new(), store: is_write };
+        if is_write {
+            self.mshrs[core].insert(block, entry);
+            return Access::Hit { ready_at: now + lat1 }; // posted store
+        }
+        let token = self.next_token;
+        self.next_token += 1;
+        entry.waiters.push(token);
+        self.mshrs[core].insert(block, entry);
+        Access::Pending { token }
+    }
+
+    fn fill_l1(&mut self, core: usize, block: u64, dirty: bool) {
+        if let Some(victim) = self.l1[core].fill(block, dirty) {
+            self.fill_l2_dirty(core, victim);
+        }
+    }
+
+    fn fill_l2(&mut self, core: usize, block: u64) {
+        if let Some(victim) = self.l2[core].fill(block, false) {
+            self.fill_llc_dirty(victim);
+        }
+    }
+
+    fn fill_l2_dirty(&mut self, core: usize, block: u64) {
+        if let Some(victim) = self.l2[core].fill(block, true) {
+            self.fill_llc_dirty(victim);
+        }
+    }
+
+    fn fill_llc_dirty(&mut self, block: u64) {
+        if let Some(victim) = self.llc.fill(block, true) {
+            self.push_writeback(victim);
+        }
+    }
+
+    fn push_writeback(&mut self, block: u64) {
+        let req_id = self.next_req_id;
+        self.next_req_id += 1;
+        self.outbox.push_back(Request {
+            id: req_id,
+            addr: PhysAddr(block),
+            is_write: true,
+            core: 0,
+            arrival: 0,
+        });
+    }
+
+    /// A fill returned from memory: installs the block in LLC/L2/L1 and
+    /// returns the load tokens to wake (the core adds
+    /// [`HierarchyConfig::fill_latency`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics on completions for unknown request ids (writes are posted
+    /// and produce no completions).
+    pub fn on_completion(&mut self, req_id: u64) -> Vec<u64> {
+        let (core, block) = self.req_map.remove(&req_id).expect("completion for unknown request");
+        let entry = self.mshrs[core].remove(&block).expect("MSHR entry must exist");
+        if let Some(victim) = self.llc.fill(block, false) {
+            self.push_writeback(victim);
+        }
+        self.fill_l2(core, block);
+        self.fill_l1(core, block, entry.store);
+        entry.waiters
+    }
+
+    /// Drains fill/writeback requests headed to the memory controllers.
+    pub fn take_outgoing(&mut self) -> std::collections::vec_deque::Drain<'_, Request> {
+        self.outbox.drain(..)
+    }
+
+    /// Peeks whether any outgoing request is waiting.
+    #[must_use]
+    pub fn has_outgoing(&self) -> bool {
+        !self.outbox.is_empty()
+    }
+
+    /// Outstanding LLC misses of `core`.
+    #[must_use]
+    pub fn outstanding(&self, core: usize) -> usize {
+        self.mshrs[core].len()
+    }
+
+    /// Snapshot of all counters.
+    #[must_use]
+    pub fn stats(&self) -> HierarchyStats {
+        HierarchyStats {
+            l1: self.l1.iter().map(|c| c.stats).collect(),
+            l2: self.l2.iter().map(|c| c.stats).collect(),
+            llc: self.llc.stats,
+            llc_misses_per_core: self.llc_misses_per_core.clone(),
+            mshr_merges: self.mshr_merges,
+            mshr_stalls: self.mshr_stalls,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> CacheHierarchy {
+        CacheHierarchy::new(HierarchyConfig::paper_default(2), 2)
+    }
+
+    #[test]
+    fn first_access_misses_to_memory_second_hits_l1() {
+        let mut h = hierarchy();
+        let a = h.access(0, 0x1000, false, 100);
+        let Access::Pending { token } = a else { panic!("expected Pending, got {a:?}") };
+        let reqs: Vec<Request> = h.take_outgoing().collect();
+        assert_eq!(reqs.len(), 1);
+        assert!(!reqs[0].is_write);
+        let woken = h.on_completion(reqs[0].id);
+        assert_eq!(woken, vec![token]);
+        match h.access(0, 0x1000, false, 200) {
+            Access::Hit { ready_at } => assert_eq!(ready_at, 204),
+            other => panic!("expected L1 hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn same_block_misses_merge_in_mshr() {
+        let mut h = hierarchy();
+        let Access::Pending { .. } = h.access(0, 0x2000, false, 0) else { panic!() };
+        let Access::Pending { .. } = h.access(0, 0x2040 - 0x40, false, 1) else { panic!() };
+        assert_eq!(h.take_outgoing().count(), 1, "one fill for two merged misses");
+        assert_eq!(h.stats().mshr_merges, 1);
+    }
+
+    #[test]
+    fn mshr_fills_up_then_stalls() {
+        let mut h = hierarchy();
+        for i in 0..8u64 {
+            assert!(matches!(h.access(0, i * 0x10000, false, 0), Access::Pending { .. }));
+        }
+        assert_eq!(h.access(0, 99 * 0x10000, false, 0), Access::Stall);
+        assert_eq!(h.stats().mshr_stalls, 1);
+        // The other core has its own MSHRs.
+        assert!(matches!(h.access(1, 99 * 0x10000, false, 0), Access::Pending { .. }));
+    }
+
+    #[test]
+    fn store_miss_is_posted_and_fill_becomes_dirty() {
+        let mut h = hierarchy();
+        assert!(matches!(h.access(0, 0x3000, true, 0), Access::Hit { .. }));
+        let reqs: Vec<Request> = h.take_outgoing().collect();
+        assert_eq!(reqs.len(), 1);
+        let woken = h.on_completion(reqs[0].id);
+        assert!(woken.is_empty(), "no load waiters for a posted store");
+        // Evict the line by filling enough conflicting blocks through L1.
+        // Instead, verify via a second store hit: the line is in L1.
+        assert!(matches!(h.access(0, 0x3000, true, 10), Access::Hit { ready_at } if ready_at == 14));
+    }
+
+    #[test]
+    fn l2_hit_latency_is_l1_plus_l2() {
+        let mut h = hierarchy();
+        let Access::Pending { .. } = h.access(0, 0x4000, false, 0) else { panic!() };
+        let reqs: Vec<Request> = h.take_outgoing().collect();
+        h.on_completion(reqs[0].id);
+        // Evict from tiny L1 by filling 4 ways of its set + more.
+        let l1_set_stride = 256 * 64u64; // 256 sets
+        for i in 1..=4u64 {
+            let Access::Pending { .. } = h.access(0, 0x4000 + i * l1_set_stride, false, 0) else {
+                panic!()
+            };
+        }
+        let reqs: Vec<Request> = h.take_outgoing().collect();
+        for r in reqs {
+            h.on_completion(r.id);
+        }
+        // 0x4000 fell out of L1 but sits in L2.
+        match h.access(0, 0x4000, false, 1000) {
+            Access::Hit { ready_at } => assert_eq!(ready_at, 1000 + 4 + 12),
+            other => panic!("expected L2 hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dirty_llc_eviction_emits_writeback() {
+        // Tiny hierarchy to force LLC evictions quickly.
+        let cfg = HierarchyConfig {
+            l1: CacheParams { size_bytes: 256, ways: 1, block_bytes: 64, latency: 1 },
+            l2: CacheParams { size_bytes: 512, ways: 1, block_bytes: 64, latency: 2 },
+            llc: CacheParams { size_bytes: 1024, ways: 1, block_bytes: 64, latency: 3 },
+            mshrs_per_core: 8,
+            fill_latency: 1,
+        };
+        let mut h = CacheHierarchy::new(cfg, 1);
+        // Write block A (posted store), fill it.
+        assert!(matches!(h.access(0, 0, true, 0), Access::Hit { .. }));
+        let reqs: Vec<Request> = h.take_outgoing().collect();
+        h.on_completion(reqs[0].id);
+        // Stream conflicting blocks through the same sets to push A out of
+        // L1 -> L2 -> LLC -> memory.
+        let mut wrote_back = false;
+        for i in 1..64u64 {
+            match h.access(0, i * 1024, false, i) {
+                Access::Pending { .. } => {
+                    let reqs: Vec<Request> = h.take_outgoing().collect();
+                    for r in &reqs {
+                        if r.is_write {
+                            wrote_back = true;
+                            assert_eq!(r.addr, PhysAddr(0));
+                        }
+                    }
+                    for r in reqs.iter().filter(|r| !r.is_write) {
+                        h.on_completion(r.id);
+                    }
+                    // Writebacks may also surface after fills.
+                    for r in h.take_outgoing() {
+                        if r.is_write && r.addr == PhysAddr(0) {
+                            wrote_back = true;
+                        }
+                    }
+                }
+                Access::Hit { .. } => {}
+                Access::Stall => panic!("unexpected stall"),
+            }
+            if wrote_back {
+                break;
+            }
+        }
+        assert!(wrote_back, "dirty block 0 must eventually be written back");
+    }
+}

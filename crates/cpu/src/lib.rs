@@ -1,0 +1,31 @@
+//! # figaro-cpu — trace-driven multi-core processor model
+//!
+//! The paper couples its DRAM simulator with an in-house processor
+//! simulator: trace-driven cores (3-wide, 256-entry instruction window,
+//! 8 MSHRs per core) behind a three-level cache hierarchy (L1 64 kB
+//! 4-way, L2 256 kB 8-way private; shared 16-way LLC at 2 MB/core). This
+//! crate is that substrate, built from scratch:
+//!
+//! * [`cache::SetAssocCache`] — set-associative, write-back,
+//!   write-allocate cache with LRU replacement;
+//! * [`hierarchy::CacheHierarchy`] — the private-L1/L2 + shared-LLC stack
+//!   with per-core MSHRs (miss merging, structural stalls) and dirty
+//!   writeback chains down to the memory controller;
+//! * [`core::TraceCore`] — the instruction-window core model: non-memory
+//!   instructions retire at full width, loads block retirement until
+//!   their data returns, stores are posted.
+//!
+//! The sim crate connects [`hierarchy::CacheHierarchy::take_outgoing`] to
+//! the per-channel memory controllers and routes completions back via
+//! [`hierarchy::CacheHierarchy::on_completion`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod core;
+pub mod hierarchy;
+
+pub use crate::core::{CoreParams, CoreStats, TraceCore};
+pub use cache::{CacheParams, CacheStats, SetAssocCache};
+pub use hierarchy::{Access, CacheHierarchy, HierarchyConfig, HierarchyStats};

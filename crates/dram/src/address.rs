@@ -1,0 +1,254 @@
+//! Physical-address ↔ DRAM-coordinate mapping.
+//!
+//! The paper interleaves addresses as `{row, rank, bankgroup, bank,
+//! channel, column}` (most-significant field first), at cache-block
+//! granularity: consecutive blocks walk the columns of one row first,
+//! then spread across channels, banks, bank groups and ranks, and only
+//! then move to the next row.
+
+use crate::geometry::DramGeometry;
+
+/// A byte-granularity physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PhysAddr(pub u64);
+
+impl PhysAddr {
+    /// The address of the cache block containing this address.
+    #[must_use]
+    pub fn block_base(self, block_bytes: u32) -> PhysAddr {
+        PhysAddr(self.0 & !u64::from(block_bytes - 1))
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(v: u64) -> Self {
+        PhysAddr(v)
+    }
+}
+
+/// Fully decoded DRAM coordinates of one cache block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DramLocation {
+    /// Channel index.
+    pub channel: u32,
+    /// Rank within the channel.
+    pub rank: u32,
+    /// Bank group within the rank.
+    pub bankgroup: u32,
+    /// Bank within the bank group.
+    pub bank: u32,
+    /// Row within the bank.
+    pub row: u32,
+    /// Block-granularity column within the row.
+    pub col: u32,
+}
+
+impl DramLocation {
+    /// Flat bank index within the channel (`rank`, `bankgroup`, `bank`).
+    #[must_use]
+    pub fn flat_bank(&self, geometry: &DramGeometry) -> u32 {
+        (self.rank * geometry.bankgroups + self.bankgroup) * geometry.banks_per_group + self.bank
+    }
+}
+
+/// Bit-slicing address map implementing the paper's
+/// `{row, rank, bankgroup, bank, channel, column}` interleaving.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMapping {
+    geometry: DramGeometry,
+    block_bits: u32,
+    col_bits: u32,
+    channel_bits: u32,
+    bank_bits: u32,
+    bankgroup_bits: u32,
+    rank_bits: u32,
+}
+
+impl AddressMapping {
+    /// Builds the mapping for `geometry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not validate (all field counts must be
+    /// powers of two).
+    #[must_use]
+    pub fn new(geometry: DramGeometry) -> Self {
+        geometry.validate().expect("geometry must validate");
+        Self {
+            geometry,
+            block_bits: geometry.block_bytes.trailing_zeros(),
+            col_bits: geometry.blocks_per_row().trailing_zeros(),
+            channel_bits: geometry.channels.trailing_zeros(),
+            bank_bits: geometry.banks_per_group.trailing_zeros(),
+            bankgroup_bits: geometry.bankgroups.trailing_zeros(),
+            rank_bits: geometry.ranks.trailing_zeros(),
+        }
+    }
+
+    /// The geometry this mapping was built for.
+    #[must_use]
+    pub fn geometry(&self) -> &DramGeometry {
+        &self.geometry
+    }
+
+    /// Decodes a physical address into DRAM coordinates.
+    #[must_use]
+    pub fn decode(&self, addr: PhysAddr) -> DramLocation {
+        let mut bits = addr.0 >> self.block_bits;
+        let mut take = |n: u32| -> u32 {
+            let v = (bits & ((1u64 << n) - 1)) as u32;
+            bits >>= n;
+            v
+        };
+        let col = take(self.col_bits);
+        let channel = take(self.channel_bits);
+        let bank = take(self.bank_bits);
+        let bankgroup = take(self.bankgroup_bits);
+        let rank = take(self.rank_bits);
+        let row = bits as u32;
+        DramLocation { channel, rank, bankgroup, bank, row, col }
+    }
+
+    /// Encodes DRAM coordinates back into the base physical address of the
+    /// block (inverse of [`AddressMapping::decode`]).
+    #[must_use]
+    pub fn encode(&self, loc: DramLocation) -> PhysAddr {
+        let mut bits = u64::from(loc.row);
+        let mut put = |v: u32, n: u32| {
+            bits = (bits << n) | u64::from(v);
+        };
+        put(loc.rank, self.rank_bits);
+        put(loc.bankgroup, self.bankgroup_bits);
+        put(loc.bank, self.bank_bits);
+        put(loc.channel, self.channel_bits);
+        put(loc.col, self.col_bits);
+        PhysAddr(bits << self.block_bits)
+    }
+
+    /// Number of row-index bits available for `rows` addressable rows per
+    /// bank (callers cap workload addresses with this).
+    #[must_use]
+    pub fn addr_space_bytes(&self, rows_per_bank: u32) -> u64 {
+        u64::from(rows_per_bank)
+            * u64::from(self.geometry.channels)
+            * u64::from(self.geometry.ranks)
+            * u64::from(self.geometry.bankgroups)
+            * u64::from(self.geometry.banks_per_group)
+            * u64::from(self.geometry.row_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> AddressMapping {
+        AddressMapping::new(DramGeometry::paper_default())
+    }
+
+    #[test]
+    fn consecutive_blocks_walk_columns_first() {
+        let m = map();
+        let a = m.decode(PhysAddr(0));
+        let b = m.decode(PhysAddr(64));
+        assert_eq!(a.col, 0);
+        assert_eq!(b.col, 1);
+        assert_eq!(a.row, b.row);
+        assert_eq!(a.bank, b.bank);
+    }
+
+    #[test]
+    fn after_row_of_columns_comes_the_bank_field() {
+        let m = map();
+        // 128 blocks per row, 1 channel -> next field is bank.
+        let a = m.decode(PhysAddr(128 * 64));
+        assert_eq!(a.col, 0);
+        assert_eq!(a.bank, 1);
+        assert_eq!(a.row, 0);
+    }
+
+    #[test]
+    fn row_is_most_significant() {
+        let m = map();
+        let g = DramGeometry::paper_default();
+        let blocks_per_row_all_banks =
+            u64::from(g.blocks_per_row()) * u64::from(g.banks_per_channel()) * u64::from(g.channels);
+        let a = m.decode(PhysAddr(blocks_per_row_all_banks * 64));
+        assert_eq!(a.row, 1);
+        assert_eq!(a.col, 0);
+        assert_eq!(a.bank, 0);
+        assert_eq!(a.bankgroup, 0);
+    }
+
+    #[test]
+    fn four_channel_mapping_spreads_blocks_across_channels() {
+        let m = AddressMapping::new(DramGeometry::paper_default().with_channels(4));
+        // Channel bits sit right above the column bits.
+        let same_row_next_channel = m.decode(PhysAddr(128 * 64));
+        assert_eq!(same_row_next_channel.channel, 1);
+        assert_eq!(same_row_next_channel.col, 0);
+    }
+
+    #[test]
+    fn encode_decode_round_trip_spot_checks() {
+        let m = map();
+        for addr in [0u64, 64, 8128, 1 << 20, (4u64 << 30) - 64] {
+            let loc = m.decode(PhysAddr(addr));
+            assert_eq!(m.encode(loc), PhysAddr(addr), "addr {addr:#x}");
+        }
+    }
+
+    #[test]
+    fn flat_bank_covers_all_banks() {
+        let g = DramGeometry::paper_default();
+        let m = AddressMapping::new(g);
+        let mut seen = std::collections::HashSet::new();
+        for block in 0..(128 * 16) {
+            let loc = m.decode(PhysAddr(block * 64));
+            seen.insert(loc.flat_bank(&g));
+        }
+        assert_eq!(seen.len(), 16);
+    }
+
+    #[test]
+    fn addr_space_matches_capacity() {
+        let m = map();
+        assert_eq!(m.addr_space_bytes(32768), 4 << 30);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn round_trip_any_block_aligned_address(block in 0u64..(4u64 << 30) / 64) {
+            let m = AddressMapping::new(DramGeometry::paper_default());
+            let addr = PhysAddr(block * 64);
+            let loc = m.decode(addr);
+            prop_assert_eq!(m.encode(loc), addr);
+        }
+
+        #[test]
+        fn round_trip_four_channels(block in 0u64..(16u64 << 30) / 64) {
+            let m = AddressMapping::new(DramGeometry::paper_default().with_channels(4));
+            let addr = PhysAddr(block * 64);
+            let loc = m.decode(addr);
+            prop_assert_eq!(m.encode(loc), addr);
+        }
+
+        #[test]
+        fn decoded_fields_in_range(block in 0u64..(4u64 << 30) / 64) {
+            let g = DramGeometry::paper_default();
+            let m = AddressMapping::new(g);
+            let loc = m.decode(PhysAddr(block * 64));
+            prop_assert!(loc.col < g.blocks_per_row());
+            prop_assert!(loc.bank < g.banks_per_group);
+            prop_assert!(loc.bankgroup < g.bankgroups);
+            prop_assert!(loc.rank < g.ranks);
+            prop_assert!(loc.channel < g.channels);
+        }
+    }
+}

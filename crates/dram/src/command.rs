@@ -1,0 +1,180 @@
+//! The DRAM command set, including the FIGARO `RELOC` command and the
+//! LISA-VILLA row-clone composite used by the baseline.
+
+use crate::RowId;
+
+/// A command the memory controller can issue to one bank (or rank, for
+/// `Refresh`/`PrechargeAll`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DramCommand {
+    /// Open `row` into its subarray's local row buffer.
+    Activate {
+        /// Row to open.
+        row: RowId,
+    },
+    /// Close the bank's open row and precharge its bitlines.
+    Precharge,
+    /// Precharge every bank in the rank.
+    PrechargeAll,
+    /// Burst-read the cache block at column `col` of the open row.
+    Read {
+        /// Block-granularity column index within the row.
+        col: u32,
+        /// Issue an implicit precharge after the read (RDA).
+        auto_pre: bool,
+    },
+    /// Burst-write the cache block at column `col` of the open row.
+    Write {
+        /// Block-granularity column index within the row.
+        col: u32,
+        /// Issue an implicit precharge after the write (WRA).
+        auto_pre: bool,
+    },
+    /// All-bank refresh (rank-level).
+    Refresh,
+    /// FIGARO: copy one column from the open row's local row buffer,
+    /// through the global row buffer, into `dst_subarray`'s local row
+    /// buffer at `dst_col` (unaligned copy allowed: `src_col` need not
+    /// equal `dst_col`). Requires the source row to be fully restored
+    /// (tRAS elapsed since its ACT).
+    Reloc {
+        /// Source column in the bank's open row.
+        src_col: u32,
+        /// Destination subarray id (dense id per
+        /// [`crate::SubarrayLayout::subarray_id`]).
+        dst_subarray: u32,
+        /// Destination column within the destination local row buffer.
+        dst_col: u32,
+    },
+    /// FIGARO: a controller-compounded train of `count` consecutive
+    /// `RELOC`s (`src_col+i` to `dst_col+i`). Occupies one command-bus
+    /// slot; the column path and the pinned subarrays stay busy for the
+    /// train's duration. Semantically identical to issuing `count`
+    /// individual [`DramCommand::Reloc`]s back to back.
+    RelocBurst {
+        /// First source column in the bank's open row.
+        src_col: u32,
+        /// Destination subarray id.
+        dst_subarray: u32,
+        /// First destination column.
+        dst_col: u32,
+        /// Number of consecutive columns to move.
+        count: u32,
+    },
+    /// FIGARO: the second activation (paper Fig. 4, step 5) that commits
+    /// previously `RELOC`ed columns into `row` of the destination
+    /// subarray. The bank's original open row stays latched (FIGARO adds a
+    /// per-subarray row-address latch); the bank must be precharged before
+    /// any further activation.
+    ActivateMerge {
+        /// Destination row (must live in the subarray the preceding
+        /// `RELOC`s targeted).
+        row: RowId,
+    },
+    /// LISA-VILLA baseline: clone the whole `src_row` into `dst_row`
+    /// (different subarray) using chained row-buffer movements. A
+    /// composite, bank-occupying operation whose duration grows with the
+    /// subarray hop distance. Requires the bank to be precharged.
+    LisaClone {
+        /// Source row.
+        src_row: RowId,
+        /// Destination row.
+        dst_row: RowId,
+    },
+}
+
+/// Discriminant-only view of [`DramCommand`], used for stats and timing
+/// tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommandKind {
+    /// `ACTIVATE`.
+    Activate,
+    /// `PRECHARGE` (single bank).
+    Precharge,
+    /// `PRECHARGE` (all banks).
+    PrechargeAll,
+    /// `READ` / `RDA`.
+    Read,
+    /// `WRITE` / `WRA`.
+    Write,
+    /// `REFRESH`.
+    Refresh,
+    /// FIGARO `RELOC`.
+    Reloc,
+    /// FIGARO compound `RELOC` train.
+    RelocBurst,
+    /// FIGARO merge activation.
+    ActivateMerge,
+    /// LISA row clone.
+    LisaClone,
+}
+
+impl DramCommand {
+    /// The command's kind.
+    #[must_use]
+    pub fn kind(&self) -> CommandKind {
+        match self {
+            DramCommand::Activate { .. } => CommandKind::Activate,
+            DramCommand::Precharge => CommandKind::Precharge,
+            DramCommand::PrechargeAll => CommandKind::PrechargeAll,
+            DramCommand::Read { .. } => CommandKind::Read,
+            DramCommand::Write { .. } => CommandKind::Write,
+            DramCommand::Refresh => CommandKind::Refresh,
+            DramCommand::Reloc { .. } => CommandKind::Reloc,
+            DramCommand::RelocBurst { .. } => CommandKind::RelocBurst,
+            DramCommand::ActivateMerge { .. } => CommandKind::ActivateMerge,
+            DramCommand::LisaClone { .. } => CommandKind::LisaClone,
+        }
+    }
+
+    /// Whether this command transfers data on the external bus
+    /// (`RELOC`/`LisaClone` move data entirely inside the chip).
+    #[must_use]
+    pub fn uses_data_bus(&self) -> bool {
+        matches!(self, DramCommand::Read { .. } | DramCommand::Write { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_round_trip() {
+        let cmds = [
+            DramCommand::Activate { row: 1 },
+            DramCommand::Precharge,
+            DramCommand::PrechargeAll,
+            DramCommand::Read { col: 0, auto_pre: false },
+            DramCommand::Write { col: 0, auto_pre: true },
+            DramCommand::Refresh,
+            DramCommand::Reloc { src_col: 1, dst_subarray: 64, dst_col: 2 },
+            DramCommand::ActivateMerge { row: 9 },
+            DramCommand::LisaClone { src_row: 1, dst_row: 2 },
+        ];
+        let kinds: Vec<CommandKind> = cmds.iter().map(DramCommand::kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                CommandKind::Activate,
+                CommandKind::Precharge,
+                CommandKind::PrechargeAll,
+                CommandKind::Read,
+                CommandKind::Write,
+                CommandKind::Refresh,
+                CommandKind::Reloc,
+                CommandKind::ActivateMerge,
+                CommandKind::LisaClone,
+            ]
+        );
+    }
+
+    #[test]
+    fn only_column_accesses_use_the_bus() {
+        assert!(DramCommand::Read { col: 0, auto_pre: false }.uses_data_bus());
+        assert!(DramCommand::Write { col: 0, auto_pre: false }.uses_data_bus());
+        assert!(!DramCommand::Reloc { src_col: 0, dst_subarray: 1, dst_col: 0 }.uses_data_bus());
+        assert!(!DramCommand::LisaClone { src_row: 0, dst_row: 1 }.uses_data_bus());
+        assert!(!DramCommand::Activate { row: 0 }.uses_data_bus());
+    }
+}

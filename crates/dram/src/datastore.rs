@@ -1,0 +1,293 @@
+//! Optional functional model of DRAM contents: sparse row storage, one
+//! local row buffer (LRB) per subarray, and the FIGARO merge semantics of
+//! the paper's Figure 4.
+//!
+//! Performance simulations run without a data store; unit tests, the
+//! quickstart example and functional verification enable it to check that
+//! `RELOC` + `ACTIVATE`-merge really move bytes the way the paper
+//! describes — including **unaligned** copies (source column ≠ destination
+//! column) and the preservation of untouched destination columns.
+
+use std::collections::HashMap;
+
+use crate::geometry::DramGeometry;
+use crate::layout::SubarrayLayout;
+use crate::RowId;
+
+/// Sparse functional model of one channel's data.
+///
+/// Rows that were never written read as zero. The store tracks, per bank
+/// and per subarray, the LRB contents and which row the LRB caches, plus
+/// the set of columns that `RELOC`s have deposited and that the next merge
+/// activation will commit.
+#[derive(Debug, Clone, Default)]
+pub struct DataStore {
+    row_bytes: usize,
+    block_bytes: usize,
+    rows: HashMap<(u32, RowId), Box<[u8]>>,
+    /// (bank, subarray) → LRB contents.
+    lrb: HashMap<(u32, u32), Box<[u8]>>,
+    /// (bank, subarray) → row currently latched in the LRB.
+    lrb_row: HashMap<(u32, u32), RowId>,
+    /// (bank, subarray) → columns deposited by RELOC, awaiting a merge.
+    pending: HashMap<(u32, u32), HashMap<u32, Vec<u8>>>,
+}
+
+impl DataStore {
+    /// Creates an empty (all-zero) store for `geometry`.
+    #[must_use]
+    pub fn new(geometry: &DramGeometry) -> Self {
+        Self {
+            row_bytes: geometry.row_bytes as usize,
+            block_bytes: geometry.block_bytes as usize,
+            ..Self::default()
+        }
+    }
+
+    fn zero_row(&self) -> Box<[u8]> {
+        vec![0u8; self.row_bytes].into_boxed_slice()
+    }
+
+    /// Directly writes a whole row (test/workload initialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is not exactly one row long.
+    pub fn store_row(&mut self, bank: u32, row: RowId, data: &[u8]) {
+        assert_eq!(data.len(), self.row_bytes, "row data must be {} bytes", self.row_bytes);
+        self.rows.insert((bank, row), data.to_vec().into_boxed_slice());
+    }
+
+    /// Reads a whole row from the array (not through the LRB).
+    #[must_use]
+    pub fn row(&self, bank: u32, row: RowId) -> Vec<u8> {
+        self.rows.get(&(bank, row)).map_or_else(|| vec![0u8; self.row_bytes], |r| r.to_vec())
+    }
+
+    /// Reads one block of a row directly from the array.
+    #[must_use]
+    pub fn block(&self, bank: u32, row: RowId, col: u32) -> Vec<u8> {
+        let start = col as usize * self.block_bytes;
+        self.row(bank, row)[start..start + self.block_bytes].to_vec()
+    }
+
+    /// Models `ACTIVATE`: latch `row` into its subarray's LRB.
+    pub fn activate(&mut self, layout: &SubarrayLayout, bank: u32, row: RowId) {
+        let sa = layout.subarray_id(row);
+        let data = self.rows.get(&(bank, row)).cloned().unwrap_or_else(|| self.zero_row());
+        self.lrb.insert((bank, sa), data);
+        self.lrb_row.insert((bank, sa), row);
+        self.pending.remove(&(bank, sa));
+    }
+
+    /// Models `READ` of `col` from the open row's LRB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no row is latched in `open_row`'s subarray LRB.
+    #[must_use]
+    pub fn read(&self, layout: &SubarrayLayout, bank: u32, open_row: RowId, col: u32) -> Vec<u8> {
+        let sa = layout.subarray_id(open_row);
+        let lrb = self.lrb.get(&(bank, sa)).expect("READ from a subarray with no latched row");
+        let start = col as usize * self.block_bytes;
+        lrb[start..start + self.block_bytes].to_vec()
+    }
+
+    /// Models `WRITE` of `col` into the open row (LRB + restore).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no row is latched, or `data` is not one block long.
+    pub fn write(&mut self, layout: &SubarrayLayout, bank: u32, open_row: RowId, col: u32, data: &[u8]) {
+        assert_eq!(data.len(), self.block_bytes);
+        let sa = layout.subarray_id(open_row);
+        let start = col as usize * self.block_bytes;
+        let lrb = self.lrb.get_mut(&(bank, sa)).expect("WRITE to a subarray with no latched row");
+        lrb[start..start + self.block_bytes].copy_from_slice(data);
+        let row = self
+            .rows
+            .entry((bank, open_row))
+            .or_insert_with(|| vec![0u8; self.row_bytes].into_boxed_slice());
+        row[start..start + self.block_bytes].copy_from_slice(data);
+    }
+
+    /// Models FIGARO `RELOC`: copy `src_col` of the open row's LRB through
+    /// the global row buffer into (`dst_subarray`, `dst_col`), recording the
+    /// column for the next merge activation. Unaligned copies
+    /// (`src_col != dst_col`) are the point of the mechanism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no row is latched in the source subarray.
+    pub fn reloc(
+        &mut self,
+        layout: &SubarrayLayout,
+        bank: u32,
+        open_row: RowId,
+        src_col: u32,
+        dst_subarray: u32,
+        dst_col: u32,
+    ) {
+        let src_sa = layout.subarray_id(open_row);
+        let src_lrb = self.lrb.get(&(bank, src_sa)).expect("RELOC from a subarray with no latched row");
+        let s = src_col as usize * self.block_bytes;
+        let block = src_lrb[s..s + self.block_bytes].to_vec();
+        // The destination LRB senses and latches the block (paper Fig. 4 step 4).
+        let row_bytes = self.row_bytes;
+        let dst_lrb = self
+            .lrb
+            .entry((bank, dst_subarray))
+            .or_insert_with(|| vec![0u8; row_bytes].into_boxed_slice());
+        let d = dst_col as usize * self.block_bytes;
+        dst_lrb[d..d + self.block_bytes].copy_from_slice(&block);
+        self.pending.entry((bank, dst_subarray)).or_default().insert(dst_col, block);
+    }
+
+    /// Models the merge `ACTIVATE` (paper Fig. 4 step 5): cells of `row`
+    /// whose bitlines were driven by `RELOC`s are overwritten; every other
+    /// column keeps its original value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no `RELOC` deposited columns into `row`'s subarray.
+    pub fn activate_merge(&mut self, layout: &SubarrayLayout, bank: u32, row: RowId) {
+        let sa = layout.subarray_id(row);
+        let pending = self
+            .pending
+            .remove(&(bank, sa))
+            .expect("merge activation without preceding RELOCs");
+        let mut data = self.rows.get(&(bank, row)).cloned().unwrap_or_else(|| self.zero_row());
+        for (col, block) in &pending {
+            let d = *col as usize * self.block_bytes;
+            data[d..d + self.block_bytes].copy_from_slice(block);
+        }
+        self.lrb.insert((bank, sa), data.clone());
+        self.lrb_row.insert((bank, sa), row);
+        self.rows.insert((bank, row), data);
+    }
+
+    /// Models a LISA row clone: the destination row becomes a copy of the
+    /// source row.
+    pub fn lisa_clone(&mut self, bank: u32, src_row: RowId, dst_row: RowId) {
+        let data = self.rows.get(&(bank, src_row)).cloned().unwrap_or_else(|| self.zero_row());
+        self.rows.insert((bank, dst_row), data);
+    }
+
+    /// Which row a subarray's LRB currently latches, if any.
+    #[must_use]
+    pub fn latched_row(&self, bank: u32, subarray: u32) -> Option<RowId> {
+        self.lrb_row.get(&(bank, subarray)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SubarrayLayout, DataStore) {
+        let layout = SubarrayLayout::homogeneous(8, 64);
+        let geo = DramGeometry { row_bytes: 512, block_bytes: 64, ..DramGeometry::paper_default() };
+        (layout, DataStore::new(&geo))
+    }
+
+    fn patterned_row(tag: u8, row_bytes: usize) -> Vec<u8> {
+        (0..row_bytes).map(|i| tag ^ (i as u8)).collect()
+    }
+
+    #[test]
+    fn activate_then_read_returns_row_contents() {
+        let (layout, mut ds) = setup();
+        let row_a = patterned_row(0xAA, 512);
+        ds.store_row(0, 5, &row_a);
+        ds.activate(&layout, 0, 5);
+        assert_eq!(ds.read(&layout, 0, 5, 2), row_a[128..192].to_vec());
+    }
+
+    #[test]
+    fn write_updates_lrb_and_array() {
+        let (layout, mut ds) = setup();
+        ds.activate(&layout, 0, 5);
+        let block = vec![7u8; 64];
+        ds.write(&layout, 0, 5, 3, &block);
+        assert_eq!(ds.read(&layout, 0, 5, 3), block);
+        assert_eq!(ds.block(0, 5, 3), block);
+    }
+
+    #[test]
+    fn figure4_unaligned_reloc_and_merge() {
+        // Reproduces paper Fig. 4: copy column 3 of subarray-0's open row
+        // into column 1 of a row in subarray 5; all other destination
+        // columns keep their values.
+        let (layout, mut ds) = setup();
+        let src_row = 7; // subarray 0
+        let dst_row = 5 * 64 + 9; // subarray 5
+        let src = patterned_row(0xA0, 512);
+        let dst = patterned_row(0xB0, 512);
+        ds.store_row(0, src_row, &src);
+        ds.store_row(0, dst_row, &dst);
+
+        ds.activate(&layout, 0, src_row);
+        ds.reloc(&layout, 0, src_row, 3, 5, 1);
+        ds.activate_merge(&layout, 0, dst_row);
+
+        let merged = ds.row(0, dst_row);
+        // Column 1 now holds source column 3.
+        assert_eq!(&merged[64..128], &src[192..256]);
+        // Every other column is untouched.
+        assert_eq!(&merged[0..64], &dst[0..64]);
+        assert_eq!(&merged[128..], &dst[128..]);
+        // Source row is unchanged (RELOC is a copy, not a move).
+        assert_eq!(ds.row(0, src_row), src);
+    }
+
+    #[test]
+    fn multiple_relocs_merge_together() {
+        let (layout, mut ds) = setup();
+        let src_row = 0;
+        let dst_row = 2 * 64; // subarray 2
+        let src = patterned_row(0x11, 512);
+        ds.store_row(0, src_row, &src);
+        ds.activate(&layout, 0, src_row);
+        for col in 0..4 {
+            ds.reloc(&layout, 0, src_row, col, 2, col + 4);
+        }
+        ds.activate_merge(&layout, 0, dst_row);
+        let merged = ds.row(0, dst_row);
+        assert_eq!(&merged[4 * 64..8 * 64], &src[0..4 * 64]);
+        assert_eq!(&merged[0..4 * 64], &vec![0u8; 256][..]);
+    }
+
+    #[test]
+    fn merge_latches_destination_row_in_its_lrb() {
+        let (layout, mut ds) = setup();
+        ds.store_row(0, 0, &patterned_row(1, 512));
+        ds.activate(&layout, 0, 0);
+        ds.reloc(&layout, 0, 0, 0, 3, 0);
+        let dst_row = 3 * 64 + 1;
+        ds.activate_merge(&layout, 0, dst_row);
+        assert_eq!(ds.latched_row(0, 3), Some(dst_row));
+        assert_eq!(ds.latched_row(0, 0), Some(0));
+    }
+
+    #[test]
+    fn lisa_clone_copies_whole_row() {
+        let (_, mut ds) = setup();
+        let src = patterned_row(0x42, 512);
+        ds.store_row(1, 10, &src);
+        ds.lisa_clone(1, 10, 200);
+        assert_eq!(ds.row(1, 200), src);
+    }
+
+    #[test]
+    fn unwritten_rows_read_zero() {
+        let (_, ds) = setup();
+        assert_eq!(ds.row(0, 99), vec![0u8; 512]);
+    }
+
+    #[test]
+    #[should_panic(expected = "merge activation without preceding RELOCs")]
+    fn merge_without_reloc_panics() {
+        let (layout, mut ds) = setup();
+        ds.activate_merge(&layout, 0, 5);
+    }
+}

@@ -1,0 +1,388 @@
+//! Subarray layout of a DRAM bank: how many regular (slow) subarrays a bank
+//! has, whether fast subarrays exist, and where they sit physically.
+//!
+//! Three layouts cover all configurations the paper evaluates:
+//!
+//! * **Homogeneous** — only regular subarrays (`Base`, `FIGCache-Slow`).
+//! * **Appended fast subarrays** — a small number of fast subarrays placed
+//!   at the edge of the bank (`FIGCache-Fast`; FIGARO's relocation latency
+//!   is distance-independent so placement does not matter).
+//! * **Interleaved fast subarrays** — fast subarrays spread evenly among the
+//!   regular ones (`LISA-VILLA`; its relocation latency grows with hop
+//!   distance, so interleaving is required to bound it).
+//!
+//! Row-id convention: regular rows occupy ids `0..regular_rows()`; fast rows
+//! are appended after them, so fast row ids are
+//! `regular_rows()..total_rows()`. `LL-DRAM` (all subarrays fast) is
+//! expressed with [`SubarrayLayout::all_fast`].
+
+use crate::RowId;
+
+/// Latency class of a row's subarray.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// Regular long-bitline subarray (full DDR4 latency).
+    Slow,
+    /// Short-bitline fast subarray (reduced tRCD/tRP/tRAS).
+    Fast,
+}
+
+/// Where fast subarrays sit within a bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FastLayout {
+    /// No fast subarrays.
+    None,
+    /// `count` fast subarrays appended at the edge of the bank
+    /// (FIGCache-Fast; FIGARO does not care about distance).
+    Appended {
+        /// Number of fast subarrays.
+        count: u32,
+        /// Rows in each fast subarray (the paper: 32).
+        rows_each: u32,
+    },
+    /// `count` fast subarrays interleaved evenly among the regular
+    /// subarrays (LISA-VILLA's distance-bounding placement).
+    Interleaved {
+        /// Number of fast subarrays.
+        count: u32,
+        /// Rows in each fast subarray (the paper: 32).
+        rows_each: u32,
+    },
+}
+
+/// Decoded placement of a row id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RowPlace {
+    /// A row in regular subarray `subarray` at index `index` within it.
+    Regular {
+        /// Regular subarray index, `0..regular_subarrays`.
+        subarray: u32,
+        /// Row index within the subarray.
+        index: u32,
+    },
+    /// A row in fast subarray `fast` at index `index` within it.
+    Fast {
+        /// Fast subarray index, `0..fast_count()`.
+        fast: u32,
+        /// Row index within the fast subarray.
+        index: u32,
+    },
+}
+
+/// Subarray layout of one bank (identical across all banks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SubarrayLayout {
+    /// Number of regular (slow) subarrays per bank (the paper: 64).
+    pub regular_subarrays: u32,
+    /// Rows per regular subarray (the paper: 512).
+    pub rows_per_subarray: u32,
+    /// Fast-subarray placement.
+    pub fast: FastLayout,
+    /// When `true`, *regular* subarrays also use fast timing (the paper's
+    /// idealized `LL-DRAM` configuration).
+    pub all_fast: bool,
+}
+
+impl SubarrayLayout {
+    /// A homogeneous bank with `subarrays` regular subarrays of
+    /// `rows_per_subarray` rows each and no fast region.
+    #[must_use]
+    pub fn homogeneous(subarrays: u32, rows_per_subarray: u32) -> Self {
+        Self {
+            regular_subarrays: subarrays,
+            rows_per_subarray,
+            fast: FastLayout::None,
+            all_fast: false,
+        }
+    }
+
+    /// The paper's FIGCache-Fast layout: the homogeneous bank plus `count`
+    /// appended fast subarrays of `rows_each` rows.
+    #[must_use]
+    pub fn with_appended_fast(mut self, count: u32, rows_each: u32) -> Self {
+        self.fast = FastLayout::Appended { count, rows_each };
+        self
+    }
+
+    /// The LISA-VILLA layout: `count` fast subarrays of `rows_each` rows
+    /// interleaved among the regular subarrays.
+    #[must_use]
+    pub fn with_interleaved_fast(mut self, count: u32, rows_each: u32) -> Self {
+        self.fast = FastLayout::Interleaved { count, rows_each };
+        self
+    }
+
+    /// The paper's `LL-DRAM` idealized layout: every subarray is fast.
+    #[must_use]
+    pub fn all_fast(subarrays: u32, rows_per_subarray: u32) -> Self {
+        Self {
+            regular_subarrays: subarrays,
+            rows_per_subarray,
+            fast: FastLayout::None,
+            all_fast: true,
+        }
+    }
+
+    /// Number of fast subarrays.
+    #[must_use]
+    pub fn fast_count(&self) -> u32 {
+        match self.fast {
+            FastLayout::None => 0,
+            FastLayout::Appended { count, .. } | FastLayout::Interleaved { count, .. } => count,
+        }
+    }
+
+    /// Rows per fast subarray (0 when there are none).
+    #[must_use]
+    pub fn fast_rows_each(&self) -> u32 {
+        match self.fast {
+            FastLayout::None => 0,
+            FastLayout::Appended { rows_each, .. } | FastLayout::Interleaved { rows_each, .. } => {
+                rows_each
+            }
+        }
+    }
+
+    /// Rows in regular subarrays.
+    #[must_use]
+    pub fn regular_rows(&self) -> u32 {
+        self.regular_subarrays * self.rows_per_subarray
+    }
+
+    /// Total rows per bank: regular rows plus appended fast rows.
+    #[must_use]
+    pub fn total_rows(&self) -> u32 {
+        self.regular_rows() + self.fast_count() * self.fast_rows_each()
+    }
+
+    /// First row id of fast subarray `fast`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fast >= fast_count()`.
+    #[must_use]
+    pub fn fast_row_base(&self, fast: u32) -> RowId {
+        assert!(fast < self.fast_count(), "fast subarray {fast} out of range");
+        self.regular_rows() + fast * self.fast_rows_each()
+    }
+
+    /// Decodes a row id to its subarray placement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row >= total_rows()`.
+    #[must_use]
+    pub fn place(&self, row: RowId) -> RowPlace {
+        let regular = self.regular_rows();
+        if row < regular {
+            RowPlace::Regular {
+                subarray: row / self.rows_per_subarray,
+                index: row % self.rows_per_subarray,
+            }
+        } else {
+            let off = row - regular;
+            let each = self.fast_rows_each();
+            assert!(each > 0 && row < self.total_rows(), "row {row} out of range");
+            RowPlace::Fast { fast: off / each, index: off % each }
+        }
+    }
+
+    /// Latency region of a row: `Fast` for fast-subarray rows (or for every
+    /// row under `all_fast`), `Slow` otherwise.
+    #[must_use]
+    pub fn region(&self, row: RowId) -> Region {
+        if self.all_fast {
+            return Region::Fast;
+        }
+        match self.place(row) {
+            RowPlace::Regular { .. } => Region::Slow,
+            RowPlace::Fast { .. } => Region::Fast,
+        }
+    }
+
+    /// A dense identifier for a row's subarray that is unique across both
+    /// regular and fast subarrays (regular subarrays first). FIGARO cannot
+    /// relocate within a single subarray, so engines use this to detect
+    /// same-subarray source/destination pairs.
+    #[must_use]
+    pub fn subarray_id(&self, row: RowId) -> u32 {
+        match self.place(row) {
+            RowPlace::Regular { subarray, .. } => subarray,
+            RowPlace::Fast { fast, .. } => self.regular_subarrays + fast,
+        }
+    }
+
+    /// Physical position of a subarray (regular or fast) along the bank, in
+    /// subarray-slot units, used to compute LISA hop distances.
+    ///
+    /// * `Appended` fast subarrays sit after the last regular subarray.
+    /// * `Interleaved` fast subarray `k` (of `n`) sits between regular
+    ///   subarrays, after regular slot `(k + 1) * regular / n - 1`.
+    #[must_use]
+    pub fn physical_slot(&self, subarray_id: u32) -> u32 {
+        let regular = self.regular_subarrays;
+        if subarray_id < regular {
+            // A regular subarray is displaced by every fast subarray
+            // inserted before it.
+            match self.fast {
+                FastLayout::Interleaved { count, .. } if count > 0 => {
+                    let stride = regular.div_ceil(count);
+                    subarray_id + subarray_id / stride
+                }
+                _ => subarray_id,
+            }
+        } else {
+            let k = subarray_id - regular;
+            match self.fast {
+                FastLayout::None => unreachable!("no fast subarrays"),
+                FastLayout::Appended { .. } => regular + k,
+                FastLayout::Interleaved { count, .. } => {
+                    let stride = regular.div_ceil(count);
+                    // Fast k sits right after regular subarray (k+1)*stride - 1,
+                    // whose displaced slot is that id + k (k fast subarrays
+                    // inserted before it).
+                    (k + 1) * stride + k
+                }
+            }
+        }
+    }
+
+    /// LISA hop distance (in subarray slots) between two subarrays.
+    #[must_use]
+    pub fn hop_distance(&self, subarray_a: u32, subarray_b: u32) -> u32 {
+        self.physical_slot(subarray_a).abs_diff(self.physical_slot(subarray_b))
+    }
+
+    /// Hop distance from `subarray_id` to the **nearest** fast subarray —
+    /// the distance a LISA-VILLA clone actually travels, because VILLA
+    /// allocates cache rows in the closest fast subarray (that is the
+    /// whole point of interleaving them).
+    #[must_use]
+    pub fn nearest_fast_hops(&self, subarray_id: u32) -> u32 {
+        let n = self.fast_count();
+        assert!(n > 0, "no fast subarrays in this layout");
+        (0..n)
+            .map(|k| self.hop_distance(subarray_id, self.regular_subarrays + k))
+            .min()
+            .expect("fast_count > 0")
+    }
+
+    /// Checks layout consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint (zero
+    /// subarrays, zero rows, or a fast layout with zero-count/zero-rows).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.regular_subarrays == 0 {
+            return Err("layout must have at least one regular subarray".into());
+        }
+        if self.rows_per_subarray == 0 {
+            return Err("rows_per_subarray must be non-zero".into());
+        }
+        match self.fast {
+            FastLayout::None => {}
+            FastLayout::Appended { count, rows_each } | FastLayout::Interleaved { count, rows_each } => {
+                if count == 0 || rows_each == 0 {
+                    return Err("fast layout must have non-zero count and rows_each".into());
+                }
+                if matches!(self.fast, FastLayout::Interleaved { .. }) && count > self.regular_subarrays {
+                    return Err(format!(
+                        "cannot interleave {count} fast subarrays among {} regular ones",
+                        self.regular_subarrays
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_fast() -> SubarrayLayout {
+        SubarrayLayout::homogeneous(64, 512).with_appended_fast(2, 32)
+    }
+
+    fn paper_lisa() -> SubarrayLayout {
+        SubarrayLayout::homogeneous(64, 512).with_interleaved_fast(16, 32)
+    }
+
+    #[test]
+    fn row_counts() {
+        assert_eq!(paper_fast().total_rows(), 64 * 512 + 64);
+        assert_eq!(paper_lisa().total_rows(), 64 * 512 + 512);
+        assert_eq!(SubarrayLayout::homogeneous(64, 512).total_rows(), 32768);
+    }
+
+    #[test]
+    fn place_regular_and_fast() {
+        let l = paper_fast();
+        assert_eq!(l.place(0), RowPlace::Regular { subarray: 0, index: 0 });
+        assert_eq!(l.place(513), RowPlace::Regular { subarray: 1, index: 1 });
+        assert_eq!(l.place(32768), RowPlace::Fast { fast: 0, index: 0 });
+        assert_eq!(l.place(32768 + 33), RowPlace::Fast { fast: 1, index: 1 });
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn place_out_of_range_panics() {
+        let l = SubarrayLayout::homogeneous(4, 8);
+        let _ = l.place(32);
+    }
+
+    #[test]
+    fn regions() {
+        let l = paper_fast();
+        assert_eq!(l.region(100), Region::Slow);
+        assert_eq!(l.region(32768), Region::Fast);
+        let ll = SubarrayLayout::all_fast(64, 512);
+        assert_eq!(ll.region(100), Region::Fast);
+    }
+
+    #[test]
+    fn subarray_ids_are_dense() {
+        let l = paper_fast();
+        assert_eq!(l.subarray_id(0), 0);
+        assert_eq!(l.subarray_id(512), 1);
+        assert_eq!(l.subarray_id(32768), 64);
+        assert_eq!(l.subarray_id(32768 + 32), 65);
+    }
+
+    #[test]
+    fn interleaved_slots_bound_hop_distance() {
+        let l = paper_lisa();
+        // stride = 64/16 = 4: fast k sits after regular 4k+3.
+        // Every regular subarray should be within 4 slots of some fast one.
+        for s in 0..64 {
+            let min_hops = (0..16).map(|k| l.hop_distance(s, 64 + k)).min().unwrap();
+            assert!(min_hops <= 4, "regular subarray {s} is {min_hops} hops from nearest fast");
+        }
+    }
+
+    #[test]
+    fn appended_fast_is_far_from_subarray_zero() {
+        let l = paper_fast();
+        assert_eq!(l.hop_distance(0, 64), 64);
+        assert_eq!(l.hop_distance(63, 64), 1);
+    }
+
+    #[test]
+    fn physical_slots_are_unique() {
+        for l in [paper_fast(), paper_lisa()] {
+            let total = l.regular_subarrays + l.fast_count();
+            let mut slots: Vec<u32> = (0..total).map(|s| l.physical_slot(s)).collect();
+            slots.sort_unstable();
+            slots.dedup();
+            assert_eq!(slots.len() as u32, total, "slots must be unique in {l:?}");
+        }
+    }
+
+    #[test]
+    fn validate_catches_bad_interleave() {
+        let l = SubarrayLayout::homogeneous(4, 8).with_interleaved_fast(8, 4);
+        assert!(l.validate().is_err());
+    }
+}

@@ -1,0 +1,106 @@
+//! Command-level DRAM statistics used for reporting and energy modelling.
+
+use crate::layout::Region;
+
+/// Counters accumulated by a [`crate::DramChannel`] as commands issue.
+///
+/// `bank_open_cycles` is the sum over banks of (precharge time − activate
+/// time); the energy model uses it to split background power between
+/// active-standby and precharge-standby, which is the standard
+/// Micron-power-calculator simplification.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DramStats {
+    /// `ACTIVATE`s issued to slow-region rows.
+    pub activates: u64,
+    /// `ACTIVATE`s issued to fast-region rows.
+    pub activates_fast: u64,
+    /// Single-bank and all-bank precharges (each closed bank counts once).
+    pub precharges: u64,
+    /// `READ`/`RDA` bursts.
+    pub reads: u64,
+    /// `WRITE`/`WRA` bursts.
+    pub writes: u64,
+    /// All-bank refreshes.
+    pub refreshes: u64,
+    /// FIGARO `RELOC` commands (one cache block each).
+    pub relocs: u64,
+    /// FIGARO merge activations into slow-region rows.
+    pub merges: u64,
+    /// FIGARO merge activations into fast-region rows.
+    pub merges_fast: u64,
+    /// LISA row clones (LISA-VILLA baseline).
+    pub lisa_clones: u64,
+    /// Total subarray hops across all LISA clones (energy scales with it).
+    pub lisa_hops: u64,
+    /// Σ over banks of cycles spent with a row open.
+    pub bank_open_cycles: u64,
+}
+
+impl DramStats {
+    /// Records an activate in `region`.
+    pub fn record_act(&mut self, region: Region) {
+        match region {
+            Region::Slow => self.activates += 1,
+            Region::Fast => self.activates_fast += 1,
+        }
+    }
+
+    /// Records a FIGARO merge activation in `region`.
+    pub fn record_merge(&mut self, region: Region) {
+        match region {
+            Region::Slow => self.merges += 1,
+            Region::Fast => self.merges_fast += 1,
+        }
+    }
+
+    /// All activations (slow + fast + merges), which is what row-cycle
+    /// energy scales with.
+    #[must_use]
+    pub fn total_activates(&self) -> u64 {
+        self.activates + self.activates_fast + self.merges + self.merges_fast
+    }
+
+    /// Element-wise accumulation (used to aggregate channels).
+    pub fn merge_from(&mut self, other: &DramStats) {
+        self.activates += other.activates;
+        self.activates_fast += other.activates_fast;
+        self.precharges += other.precharges;
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.refreshes += other.refreshes;
+        self.relocs += other.relocs;
+        self.merges += other.merges;
+        self.merges_fast += other.merges_fast;
+        self.lisa_clones += other.lisa_clones;
+        self.lisa_hops += other.lisa_hops;
+        self.bank_open_cycles += other.bank_open_cycles;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_helpers_split_by_region() {
+        let mut s = DramStats::default();
+        s.record_act(Region::Slow);
+        s.record_act(Region::Fast);
+        s.record_merge(Region::Fast);
+        assert_eq!(s.activates, 1);
+        assert_eq!(s.activates_fast, 1);
+        assert_eq!(s.merges_fast, 1);
+        assert_eq!(s.total_activates(), 3);
+    }
+
+    #[test]
+    fn merge_from_accumulates_every_field() {
+        let mut a = DramStats { activates: 1, reads: 2, relocs: 3, ..Default::default() };
+        let b = DramStats { activates: 10, reads: 20, relocs: 30, lisa_hops: 5, ..Default::default() };
+        a.merge_from(&b);
+        assert_eq!(a.activates, 11);
+        assert_eq!(a.reads, 22);
+        assert_eq!(a.relocs, 33);
+        assert_eq!(a.lisa_hops, 5);
+    }
+}

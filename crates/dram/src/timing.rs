@@ -1,0 +1,257 @@
+//! DDR4 timing parameters in bus cycles, fast-region scaling, and the
+//! FIGARO `RELOC` timing additions.
+
+use crate::layout::Region;
+
+/// JEDEC-style DDR4 timing parameters, expressed in **bus cycles**
+/// (the command clock; one cycle = `t_ck_ps` picoseconds).
+///
+/// The `fast_*` fields hold the reduced activation/precharge/restoration
+/// latencies of fast (short-bitline) subarrays. Per the paper (which reuses
+/// the LISA-VILLA SPICE model): tRCD −45.5%, tRP −38.2%, tRAS −62.9%.
+///
+/// The FIGARO additions are `reloc` (the guard-banded `RELOC` command
+/// latency — 1 ns in the paper, i.e. one 1.25 ns bus cycle) and
+/// `reloc_to_reloc` (the internal column-cycle gap between consecutive
+/// `RELOC`s; `RELOC` never drives the external data bus so this can be
+/// shorter than `tCCD_S`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimingParams {
+    /// Bus clock period in picoseconds (DDR4-1600: 1250 ps).
+    pub t_ck_ps: u64,
+    /// CAS (read) latency.
+    pub cl: u32,
+    /// Write latency (CWL).
+    pub cwl: u32,
+    /// ACT → column command, slow region.
+    pub rcd: u32,
+    /// PRE duration, slow region.
+    pub rp: u32,
+    /// ACT → PRE minimum (restoration), slow region.
+    pub ras: u32,
+    /// ACT → ACT same bank (`ras + rp`).
+    pub rc: u32,
+    /// Data burst duration on the bus (BL8 on DDR: 4 cycles).
+    pub bl: u32,
+    /// Column → column, different bank group.
+    pub ccd_s: u32,
+    /// Column → column, same bank group.
+    pub ccd_l: u32,
+    /// ACT → ACT, different bank group, same rank.
+    pub rrd_s: u32,
+    /// ACT → ACT, same bank group, same rank.
+    pub rrd_l: u32,
+    /// Four-activate window per rank.
+    pub faw: u32,
+    /// READ → PRE same bank.
+    pub rtp: u32,
+    /// Write recovery: end of write data → PRE same bank.
+    pub wr: u32,
+    /// Write → read turnaround (end of write data → READ), different bank group.
+    pub wtr_s: u32,
+    /// Write → read turnaround, same bank group.
+    pub wtr_l: u32,
+    /// Average refresh interval.
+    pub refi: u32,
+    /// Refresh cycle time (all-bank REF duration).
+    pub rfc: u32,
+    /// ACT → column command, fast region.
+    pub fast_rcd: u32,
+    /// PRE duration, fast region.
+    pub fast_rp: u32,
+    /// ACT → PRE minimum, fast region.
+    pub fast_ras: u32,
+    /// `RELOC` command latency (guard-banded GRB sense + destination LRB
+    /// drive). The paper's SPICE analysis: 0.57 ns worst case, +43%
+    /// guardband → 1 ns → 1 bus cycle.
+    pub reloc: u32,
+    /// Minimum gap between consecutive `RELOC` commands in the same bank
+    /// (internal column cycle; no external bus burst is involved).
+    pub reloc_to_reloc: u32,
+    /// Per-hop latency of a LISA row-buffer-movement step, used by the
+    /// LISA-VILLA baseline's row-granularity clone (distance-dependent).
+    pub lisa_hop: u32,
+}
+
+impl TimingParams {
+    /// DDR4-1600 (800 MHz bus) timing used throughout the paper's
+    /// evaluation. tRAS = 28 cycles = 35 ns matches the paper's Section 4.2.
+    #[must_use]
+    pub fn ddr4_1600() -> Self {
+        let rcd = 11;
+        let rp = 11;
+        let ras = 28;
+        Self {
+            t_ck_ps: 1250,
+            cl: 11,
+            cwl: 9,
+            rcd,
+            rp,
+            ras,
+            rc: ras + rp,
+            bl: 4,
+            ccd_s: 4,
+            ccd_l: 5,
+            rrd_s: 4,
+            rrd_l: 5,
+            faw: 20,
+            rtp: 6,
+            wr: 12,
+            wtr_s: 2,
+            wtr_l: 6,
+            refi: 6240,  // 7.8 us
+            rfc: 280,    // 350 ns (8 Gb device class)
+            fast_rcd: scale_down(rcd, 0.455),
+            fast_rp: scale_down(rp, 0.382),
+            fast_ras: scale_down(ras, 0.629),
+            reloc: 1,
+            reloc_to_reloc: 1,
+            lisa_hop: 4,
+        }
+    }
+
+    /// tRCD of `region`.
+    #[must_use]
+    pub fn rcd_of(&self, region: Region) -> u32 {
+        match region {
+            Region::Slow => self.rcd,
+            Region::Fast => self.fast_rcd,
+        }
+    }
+
+    /// tRP of `region`.
+    #[must_use]
+    pub fn rp_of(&self, region: Region) -> u32 {
+        match region {
+            Region::Slow => self.rp,
+            Region::Fast => self.fast_rp,
+        }
+    }
+
+    /// tRAS of `region`.
+    #[must_use]
+    pub fn ras_of(&self, region: Region) -> u32 {
+        match region {
+            Region::Slow => self.ras,
+            Region::Fast => self.fast_ras,
+        }
+    }
+
+    /// Read-to-write bus turnaround: `cl + bl + 2 - cwl`, clamped at zero.
+    #[must_use]
+    pub fn rd_to_wr(&self) -> u32 {
+        (self.cl + self.bl + 2).saturating_sub(self.cwl)
+    }
+
+    /// Converts a cycle count to nanoseconds under this clock.
+    #[must_use]
+    pub fn cycles_to_ns(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.t_ck_ps as f64 / 1000.0
+    }
+
+    /// Checks basic sanity relations between parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated relation
+    /// (e.g. `rc < ras + rp`, or a fast latency exceeding its slow one).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.t_ck_ps == 0 {
+            return Err("t_ck_ps must be non-zero".into());
+        }
+        if self.rc < self.ras + self.rp {
+            return Err(format!("rc ({}) < ras + rp ({})", self.rc, self.ras + self.rp));
+        }
+        if self.fast_rcd > self.rcd || self.fast_rp > self.rp || self.fast_ras > self.ras {
+            return Err("fast-region latencies must not exceed slow-region ones".into());
+        }
+        for (name, v) in [
+            ("cl", self.cl),
+            ("rcd", self.rcd),
+            ("rp", self.rp),
+            ("ras", self.ras),
+            ("bl", self.bl),
+            ("reloc", self.reloc),
+            ("reloc_to_reloc", self.reloc_to_reloc),
+            ("refi", self.refi),
+            ("rfc", self.rfc),
+        ] {
+            if v == 0 {
+                return Err(format!("timing parameter `{name}` must be non-zero"));
+            }
+        }
+        if self.refi <= self.rfc {
+            return Err(format!("refi ({}) must exceed rfc ({})", self.refi, self.rfc));
+        }
+        Ok(())
+    }
+}
+
+impl Default for TimingParams {
+    fn default() -> Self {
+        Self::ddr4_1600()
+    }
+}
+
+/// Reduces `cycles` by `fraction` (e.g. 0.455 for −45.5%), rounding up so
+/// the reduced latency never under-waits the analog settling time.
+fn scale_down(cycles: u32, fraction: f64) -> u32 {
+    let scaled = f64::from(cycles) * (1.0 - fraction);
+    (scaled.ceil() as u32).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddr4_1600_is_valid() {
+        TimingParams::ddr4_1600().validate().unwrap();
+    }
+
+    #[test]
+    fn fast_region_scaling_matches_paper() {
+        let t = TimingParams::ddr4_1600();
+        // tRCD 11 * (1 - 0.455) = 5.995 -> 6; tRP 11 * 0.618 = 6.798 -> 7;
+        // tRAS 28 * 0.371 = 10.388 -> 11.
+        assert_eq!(t.fast_rcd, 6);
+        assert_eq!(t.fast_rp, 7);
+        assert_eq!(t.fast_ras, 11);
+    }
+
+    #[test]
+    fn ras_is_35ns() {
+        let t = TimingParams::ddr4_1600();
+        assert!((t.cycles_to_ns(u64::from(t.ras)) - 35.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_column_relocation_is_about_63_5_ns() {
+        // Paper Sec 4.2: ACT(src, tRAS) + RELOC + ACT(dst, tRCD) + PRE(tRP)
+        // = 35 + 1 + 13.75 + 13.75 = 63.5 ns. Our cycle-quantized version:
+        let t = TimingParams::ddr4_1600();
+        let cycles = u64::from(t.ras + t.reloc + t.rcd + t.rp);
+        let ns = t.cycles_to_ns(cycles);
+        assert!((ns - 63.5).abs() < 1.5, "one-column relocation = {ns} ns");
+    }
+
+    #[test]
+    fn region_accessors_pick_fast_values() {
+        let t = TimingParams::ddr4_1600();
+        assert_eq!(t.rcd_of(Region::Fast), t.fast_rcd);
+        assert_eq!(t.rp_of(Region::Slow), t.rp);
+        assert_eq!(t.ras_of(Region::Fast), t.fast_ras);
+    }
+
+    #[test]
+    fn validate_rejects_fast_slower_than_slow() {
+        let t = TimingParams { fast_rcd: 99, ..TimingParams::ddr4_1600() };
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn rd_to_wr_turnaround_positive() {
+        let t = TimingParams::ddr4_1600();
+        assert_eq!(t.rd_to_wr(), 11 + 4 + 2 - 9);
+    }
+}

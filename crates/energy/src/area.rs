@@ -1,0 +1,193 @@
+//! The Section 8.3 hardware-overhead model: FIGARO's DRAM-side
+//! modifications, fast-subarray area, reserved-row capacity loss, and the
+//! FIGCache tag store (FTS) in the memory controller.
+
+/// Area/power constants at 22 nm (the paper's RTL evaluation numbers).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaModel {
+    /// Column-address MUX per subarray (µm²).
+    pub col_mux_um2: f64,
+    /// Column-address MUX power (µW).
+    pub col_mux_uw: f64,
+    /// Row-address MUX per subarray (µm²).
+    pub row_mux_um2: f64,
+    /// Row-address MUX power (µW).
+    pub row_mux_uw: f64,
+    /// 40-bit row-address latch per subarray (µm²).
+    pub row_latch_um2: f64,
+    /// Row-address latch power (µW).
+    pub row_latch_uw: f64,
+    /// Reference DRAM chip area (mm²).
+    pub chip_area_mm2: f64,
+    /// Fast subarray area relative to a slow subarray (cells + sense
+    /// amplifiers; the paper: 22.6%).
+    pub fast_subarray_ratio: f64,
+    /// SRAM cost per FTS bit (µm²) — includes decoder/comparator overhead
+    /// of the fully-associative lookup.
+    pub fts_um2_per_bit: f64,
+    /// FTS access time (ns) from CACTI.
+    pub fts_access_ns: f64,
+    /// FTS average power (mW) from CACTI.
+    pub fts_power_mw: f64,
+}
+
+impl AreaModel {
+    /// The paper's Section 8.3 constants.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            col_mux_um2: 4.7,
+            col_mux_uw: 2.1,
+            row_mux_um2: 18.8,
+            row_mux_uw: 8.4,
+            row_latch_um2: 35.2,
+            row_latch_uw: 19.1,
+            chip_area_mm2: 50.0,
+            fast_subarray_ratio: 0.226,
+            fts_um2_per_bit: 2.33,
+            fts_access_ns: 0.11,
+            fts_power_mw: 0.187,
+        }
+    }
+
+    /// FIGARO's peripheral-logic area overhead as a fraction of the chip,
+    /// for `banks` banks of `subarrays` subarrays.
+    #[must_use]
+    pub fn figaro_chip_overhead(&self, banks: u32, subarrays: u32) -> f64 {
+        let per_subarray = self.col_mux_um2 + self.row_mux_um2 + self.row_latch_um2;
+        let total_um2 = per_subarray * f64::from(banks) * f64::from(subarrays);
+        total_um2 / (self.chip_area_mm2 * 1e6)
+    }
+
+    /// FIGARO's added power (mW) for the whole chip.
+    #[must_use]
+    pub fn figaro_power_mw(&self, banks: u32, subarrays: u32) -> f64 {
+        let per_subarray = self.col_mux_uw + self.row_mux_uw + self.row_latch_uw;
+        per_subarray * f64::from(banks) * f64::from(subarrays) / 1000.0
+    }
+
+    /// Chip-area overhead of adding `fast_count` fast subarrays per bank
+    /// to banks of `slow_count` slow subarrays (fraction of the cell
+    /// array, which dominates chip area). The paper: 0.7% for 2 per bank
+    /// (FIGCache-Fast), 5.6% for 16 (LISA-VILLA).
+    #[must_use]
+    pub fn fast_subarray_overhead(&self, fast_count: u32, slow_count: u32) -> f64 {
+        f64::from(fast_count) * self.fast_subarray_ratio / f64::from(slow_count)
+    }
+
+    /// Capacity overhead of reserving `reserved` of `total` rows per bank
+    /// (FIGCache-Slow; the paper: 0.2%).
+    #[must_use]
+    pub fn reserved_row_overhead(&self, reserved: u32, total: u32) -> f64 {
+        f64::from(reserved) / f64::from(total)
+    }
+
+    /// The FTS cost for a channel of `banks` banks with `entries` entries
+    /// per bank, `segments_per_bank` cacheable segments (tag width
+    /// derivation) and 5-bit benefit counters.
+    #[must_use]
+    pub fn fts_cost(&self, banks: u32, entries: u32, segments_per_bank: u64) -> FtsCost {
+        // Tag identifies the source segment: ceil(log2(#segments)).
+        let tag_bits = (64 - (segments_per_bank - 1).leading_zeros()) as u32;
+        let entry_bits = tag_bits + 5 + 1 + 1; // tag + benefit + valid + dirty
+        let total_bits = u64::from(entry_bits) * u64::from(entries) * u64::from(banks);
+        FtsCost {
+            tag_bits,
+            entry_bits,
+            total_kib: total_bits as f64 / 8.0 / 1024.0,
+            area_mm2: total_bits as f64 * self.fts_um2_per_bit / 1e6,
+            access_ns: self.fts_access_ns,
+            power_mw: self.fts_power_mw,
+        }
+    }
+
+    /// Produces the full Section 8.3 report for the paper's configuration.
+    #[must_use]
+    pub fn paper_report(&self) -> OverheadReport {
+        OverheadReport {
+            figaro_chip_overhead: self.figaro_chip_overhead(16, 64),
+            figaro_power_mw: self.figaro_power_mw(16, 64),
+            figcache_fast_overhead: self.fast_subarray_overhead(2, 64),
+            lisa_villa_overhead: self.fast_subarray_overhead(16, 64),
+            figcache_slow_overhead: self.reserved_row_overhead(64, 32 * 1024),
+            fts: self.fts_cost(16, 512, 256 * 1024),
+        }
+    }
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// FTS storage/area/power summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FtsCost {
+    /// Source-segment tag width (bits).
+    pub tag_bits: u32,
+    /// Bits per FTS entry.
+    pub entry_bits: u32,
+    /// Total storage per channel (KiB).
+    pub total_kib: f64,
+    /// Total area (mm²).
+    pub area_mm2: f64,
+    /// Access time (ns).
+    pub access_ns: f64,
+    /// Power (mW).
+    pub power_mw: f64,
+}
+
+/// All Section 8.3 quantities for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OverheadReport {
+    /// FIGARO peripheral logic vs chip area (paper: <0.3%).
+    pub figaro_chip_overhead: f64,
+    /// FIGARO peripheral power (mW).
+    pub figaro_power_mw: f64,
+    /// FIGCache-Fast fast subarrays vs chip (paper: 0.7%).
+    pub figcache_fast_overhead: f64,
+    /// LISA-VILLA fast subarrays vs chip (paper: 5.6%).
+    pub lisa_villa_overhead: f64,
+    /// FIGCache-Slow reserved rows vs capacity (paper: 0.2%).
+    pub figcache_slow_overhead: f64,
+    /// Tag-store cost (paper: 26.0 kB, 0.496 mm², 0.11 ns, 0.187 mW).
+    pub fts: FtsCost,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figaro_overhead_is_below_paper_bound() {
+        let r = AreaModel::paper_default().paper_report();
+        assert!(r.figaro_chip_overhead < 0.003, "FIGARO overhead {}", r.figaro_chip_overhead);
+    }
+
+    #[test]
+    fn fast_subarray_overheads_match_paper() {
+        let r = AreaModel::paper_default().paper_report();
+        assert!((r.figcache_fast_overhead - 0.007).abs() < 0.0005, "{}", r.figcache_fast_overhead);
+        assert!((r.lisa_villa_overhead - 0.056).abs() < 0.002, "{}", r.lisa_villa_overhead);
+        assert!((r.figcache_slow_overhead - 0.002).abs() < 0.0005);
+    }
+
+    #[test]
+    fn fts_matches_paper_26kb_and_26bit_entries() {
+        let r = AreaModel::paper_default().paper_report();
+        assert_eq!(r.fts.tag_bits, 18); // 256K segments -> 18 bits to index
+        // The paper states 19-bit tags and 26-bit entries (their tag spans
+        // one extra bit); our derived entry is 25 bits, total ~25 kB.
+        assert!(r.fts.entry_bits >= 25 && r.fts.entry_bits <= 26);
+        assert!(r.fts.total_kib > 24.0 && r.fts.total_kib < 27.0, "{} KiB", r.fts.total_kib);
+        assert!((r.fts.area_mm2 - 0.496).abs() < 0.05, "{} mm2", r.fts.area_mm2);
+    }
+
+    #[test]
+    fn lisa_needs_eight_times_the_fast_area_of_figcache() {
+        let m = AreaModel::paper_default();
+        let ratio = m.fast_subarray_overhead(16, 64) / m.fast_subarray_overhead(2, 64);
+        assert!((ratio - 8.0).abs() < 1e-9);
+    }
+}

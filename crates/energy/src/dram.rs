@@ -1,0 +1,232 @@
+//! IDD-based DRAM energy, following the Micron power-calculator
+//! methodology (the paper uses a modified DRAMPower, which implements the
+//! same formulas).
+
+use figaro_dram::{DramStats, TimingParams};
+
+/// Per-command and background energy model of one rank (eight x8 chips in
+/// lockstep).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DramEnergyModel {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Chips per rank.
+    pub chips: f64,
+    /// Activate/precharge cycling current, one bank (mA, per chip).
+    pub idd0_ma: f64,
+    /// Precharge standby current (mA).
+    pub idd2n_ma: f64,
+    /// Active standby current (mA).
+    pub idd3n_ma: f64,
+    /// Read burst current (mA).
+    pub idd4r_ma: f64,
+    /// Write burst current (mA).
+    pub idd4w_ma: f64,
+    /// Refresh current (mA).
+    pub idd5b_ma: f64,
+    /// Bus clock period (ns).
+    pub t_ck_ns: f64,
+    /// tRC in cycles (row-cycle energy window).
+    pub t_rc: f64,
+    /// tBL in cycles.
+    pub t_bl: f64,
+    /// tRFC in cycles.
+    pub t_rfc: f64,
+    /// Fast-subarray activation energy relative to a slow one (shorter
+    /// bitlines move less charge).
+    pub fast_act_scale: f64,
+    /// `RELOC` column-transfer energy relative to a read burst (no
+    /// external I/O is driven).
+    pub reloc_vs_read: f64,
+    /// Energy of one LISA row-buffer-movement hop relative to an
+    /// activation.
+    pub lisa_hop_vs_act: f64,
+}
+
+impl DramEnergyModel {
+    /// DDR4-1600 parameters consistent with
+    /// [`TimingParams::ddr4_1600`].
+    #[must_use]
+    pub fn ddr4_1600() -> Self {
+        let t = TimingParams::ddr4_1600();
+        Self {
+            vdd: 1.2,
+            chips: 8.0,
+            idd0_ma: 55.0,
+            idd2n_ma: 34.0,
+            idd3n_ma: 42.0,
+            idd4r_ma: 140.0,
+            idd4w_ma: 130.0,
+            idd5b_ma: 190.0,
+            t_ck_ns: t.t_ck_ps as f64 / 1000.0,
+            t_rc: f64::from(t.rc),
+            t_bl: f64::from(t.bl),
+            t_rfc: f64::from(t.rfc),
+            fast_act_scale: 0.5,
+            reloc_vs_read: 0.6,
+            lisa_hop_vs_act: 0.4,
+        }
+    }
+
+    fn rank_nj(&self, ma: f64, cycles: f64) -> f64 {
+        // mA * V * ns = pJ; /1000 -> nJ; x chips.
+        ma * self.vdd * cycles * self.t_ck_ns * self.chips / 1000.0
+    }
+
+    /// Energy of one slow-region ACT+PRE pair (nJ, rank level).
+    #[must_use]
+    pub fn act_pre_nj(&self) -> f64 {
+        self.rank_nj(self.idd0_ma - self.idd3n_ma, self.t_rc)
+    }
+
+    /// Energy of one read burst above background (nJ).
+    #[must_use]
+    pub fn read_nj(&self) -> f64 {
+        self.rank_nj(self.idd4r_ma - self.idd3n_ma, self.t_bl)
+    }
+
+    /// Energy of one write burst above background (nJ).
+    #[must_use]
+    pub fn write_nj(&self) -> f64 {
+        self.rank_nj(self.idd4w_ma - self.idd3n_ma, self.t_bl)
+    }
+
+    /// Energy of one all-bank refresh above background (nJ).
+    #[must_use]
+    pub fn refresh_nj(&self) -> f64 {
+        self.rank_nj(self.idd5b_ma - self.idd2n_ma, self.t_rfc)
+    }
+
+    /// Energy of one `RELOC` command (nJ): a column transfer through the
+    /// GRB without driving the external bus.
+    #[must_use]
+    pub fn reloc_nj(&self) -> f64 {
+        self.read_nj() * self.reloc_vs_read
+    }
+
+    /// Full energy of relocating one cache block into a *closed* bank
+    /// (two activations, one `RELOC`, one precharge) — the quantity the
+    /// paper estimates at 0.03 µJ (Sec. 4.2).
+    #[must_use]
+    pub fn one_block_relocation_nj(&self) -> f64 {
+        2.0 * self.act_pre_nj() + self.reloc_nj()
+    }
+
+    /// Computes the breakdown for the given command counts over
+    /// `total_cycles` bus cycles on `channels` channels.
+    #[must_use]
+    pub fn breakdown(&self, stats: &DramStats, total_cycles: u64, channels: u64) -> DramEnergyBreakdown {
+        let act_slow = stats.activates + stats.merges;
+        let act_fast = stats.activates_fast + stats.merges_fast;
+        let act_pre = act_slow as f64 * self.act_pre_nj()
+            + act_fast as f64 * self.act_pre_nj() * self.fast_act_scale;
+        let rd = stats.reads as f64 * self.read_nj();
+        let wr = stats.writes as f64 * self.write_nj();
+        let refresh = stats.refreshes as f64 * self.refresh_nj();
+        let reloc = stats.relocs as f64 * self.reloc_nj();
+        let lisa = stats.lisa_hops as f64 * self.act_pre_nj() * self.lisa_hop_vs_act;
+        // Background: a rank is in active standby while it has any open
+        // bank. We track the sum of per-bank open intervals; overlapping
+        // intervals are capped at the total (standard simplification).
+        let total = (total_cycles * channels) as f64;
+        let active_cycles = (stats.bank_open_cycles as f64).min(total);
+        let precharge_cycles = total - active_cycles;
+        let background = self.rank_nj(self.idd3n_ma, active_cycles)
+            + self.rank_nj(self.idd2n_ma, precharge_cycles);
+        DramEnergyBreakdown { act_pre, rd, wr, refresh, reloc, lisa, background }
+    }
+}
+
+impl Default for DramEnergyModel {
+    fn default() -> Self {
+        Self::ddr4_1600()
+    }
+}
+
+/// DRAM energy by component, in nanojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DramEnergyBreakdown {
+    /// Row cycling (ACT + PRE, including FIGARO merge activations).
+    pub act_pre: f64,
+    /// Read bursts.
+    pub rd: f64,
+    /// Write bursts.
+    pub wr: f64,
+    /// Refresh.
+    pub refresh: f64,
+    /// FIGARO `RELOC` transfers.
+    pub reloc: f64,
+    /// LISA clone hops.
+    pub lisa: f64,
+    /// Active + precharge standby.
+    pub background: f64,
+}
+
+impl DramEnergyBreakdown {
+    /// Total DRAM energy (nJ).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.act_pre + self.rd + self.wr + self.refresh + self.reloc + self.lisa + self.background
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_command_energies_are_sane() {
+        let m = DramEnergyModel::ddr4_1600();
+        // Rank-level ACT/PRE in the nJ range.
+        assert!(m.act_pre_nj() > 1.0 && m.act_pre_nj() < 50.0, "{}", m.act_pre_nj());
+        assert!(m.read_nj() > 1.0 && m.read_nj() < 20.0);
+        assert!(m.refresh_nj() > 100.0, "refresh is expensive: {}", m.refresh_nj());
+    }
+
+    #[test]
+    fn one_block_relocation_order_matches_paper() {
+        // Paper Sec 4.2: 0.03 uJ = 30 nJ. Same order of magnitude here.
+        let nj = DramEnergyModel::ddr4_1600().one_block_relocation_nj();
+        assert!(nj > 5.0 && nj < 60.0, "one-block relocation = {nj} nJ");
+    }
+
+    #[test]
+    fn breakdown_scales_with_counts() {
+        let m = DramEnergyModel::ddr4_1600();
+        let mut s = DramStats { activates: 10, reads: 100, ..Default::default() };
+        let b1 = m.breakdown(&s, 1000, 1);
+        s.activates = 20;
+        let b2 = m.breakdown(&s, 1000, 1);
+        assert!((b2.act_pre - 2.0 * b1.act_pre).abs() < 1e-9);
+        assert_eq!(b1.rd, b2.rd);
+    }
+
+    #[test]
+    fn fast_activates_cost_less() {
+        let m = DramEnergyModel::ddr4_1600();
+        let slow = DramStats { activates: 100, ..Default::default() };
+        let fast = DramStats { activates_fast: 100, ..Default::default() };
+        let bs = m.breakdown(&slow, 1000, 1);
+        let bf = m.breakdown(&fast, 1000, 1);
+        assert!(bf.act_pre < bs.act_pre);
+    }
+
+    #[test]
+    fn background_splits_on_open_cycles() {
+        let m = DramEnergyModel::ddr4_1600();
+        let idle = DramStats::default();
+        let busy = DramStats { bank_open_cycles: 1000, ..Default::default() };
+        let bi = m.breakdown(&idle, 1000, 1);
+        let bb = m.breakdown(&busy, 1000, 1);
+        assert!(bb.background > bi.background, "active standby exceeds precharge standby");
+    }
+
+    #[test]
+    fn open_cycles_are_capped_at_total() {
+        let m = DramEnergyModel::ddr4_1600();
+        let s = DramStats { bank_open_cycles: 1_000_000, ..Default::default() };
+        let b = m.breakdown(&s, 1000, 1);
+        let all_active = m.rank_nj(m.idd3n_ma, 1000.0);
+        assert!((b.background - all_active).abs() < 1e-9);
+    }
+}

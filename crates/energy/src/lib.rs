@@ -1,0 +1,31 @@
+//! # figaro-energy — energy and area models for the FIGARO evaluation
+//!
+//! The paper's energy results (Fig. 11, Sec. 8.2) combine DRAMPower-style
+//! DRAM energy with McPAT/CACTI/Orion models for cores, caches and the
+//! off-chip interconnect; its hardware-overhead results (Sec. 8.3) are
+//! closed-form area/power calculations. This crate provides equivalents:
+//!
+//! * [`dram::DramEnergyModel`] — IDD-current-based per-command energies
+//!   (ACT/PRE, RD, WR, REF, `RELOC`, LISA clone hops) plus
+//!   active/precharge background power, following the Micron power
+//!   calculator methodology;
+//! * [`system::SystemEnergyModel`] — constant-based core/L1/L2/LLC/
+//!   off-chip energy, producing the Fig. 11 breakdown;
+//! * [`area`] — the Section 8.3 overhead model: FIGARO's per-subarray
+//!   MUXes/latches, fast-subarray area, reserved-row capacity loss, and
+//!   the FTS storage/area/power in the memory controller.
+//!
+//! All energies are reported in nanojoules; the models aim at faithful
+//! *relative* behaviour (breakdowns and ratios), not absolute silicon
+//! calibration.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod area;
+pub mod dram;
+pub mod system;
+
+pub use area::{AreaModel, FtsCost, OverheadReport};
+pub use dram::{DramEnergyBreakdown, DramEnergyModel};
+pub use system::{SystemActivity, SystemEnergyBreakdown, SystemEnergyModel};

@@ -1,0 +1,177 @@
+//! System-level energy: cores, caches, off-chip interconnect, DRAM —
+//! the components of the paper's Fig. 11 breakdown.
+
+use crate::dram::DramEnergyBreakdown;
+
+/// Constant-based energy model for the non-DRAM system components
+/// (the role McPAT/CACTI/Orion play in the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemEnergyModel {
+    /// Static power per core (W) — includes its share of uncore.
+    pub core_static_w: f64,
+    /// Dynamic energy per retired instruction (nJ).
+    pub core_dyn_nj_per_inst: f64,
+    /// Dynamic energy per L1 access (nJ).
+    pub l1_nj: f64,
+    /// Dynamic energy per L2 access (nJ).
+    pub l2_nj: f64,
+    /// Dynamic energy per LLC access (nJ).
+    pub llc_nj: f64,
+    /// L1+L2 static power per core (W).
+    pub l1l2_static_w: f64,
+    /// LLC static power per megabyte (W).
+    pub llc_static_w_per_mb: f64,
+    /// Off-chip transfer energy per byte (nJ).
+    pub offchip_nj_per_byte: f64,
+    /// CPU clock (GHz), to convert cycles to seconds for static energy.
+    pub cpu_ghz: f64,
+}
+
+impl SystemEnergyModel {
+    /// Values representative of a 22 nm 8-core part (the paper's
+    /// technology node for its McPAT/CACTI runs).
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            core_static_w: 0.9,
+            core_dyn_nj_per_inst: 0.20,
+            l1_nj: 0.012,
+            l2_nj: 0.045,
+            llc_nj: 0.16,
+            l1l2_static_w: 0.05,
+            llc_static_w_per_mb: 0.04,
+            offchip_nj_per_byte: 0.12,
+            cpu_ghz: 3.2,
+        }
+    }
+}
+
+impl Default for SystemEnergyModel {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Activity counts of one simulation, fed into the model.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SystemActivity {
+    /// Cores in the system.
+    pub cores: u32,
+    /// CPU cycles the run took (wall clock of the simulation).
+    pub cpu_cycles: u64,
+    /// Total instructions retired across cores.
+    pub instructions: u64,
+    /// L1 accesses across cores.
+    pub l1_accesses: u64,
+    /// L2 accesses across cores.
+    pub l2_accesses: u64,
+    /// LLC accesses.
+    pub llc_accesses: u64,
+    /// Bytes moved over the off-chip bus (fills + writebacks × 64 B).
+    pub offchip_bytes: u64,
+    /// LLC capacity (MB), for leakage.
+    pub llc_mb: f64,
+    /// DRAM energy (from [`crate::DramEnergyModel::breakdown`]).
+    pub dram: DramEnergyBreakdown,
+}
+
+/// Fig. 11's components, in nanojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SystemEnergyBreakdown {
+    /// Core static + dynamic.
+    pub cpu: f64,
+    /// Private L1 + L2 (dynamic + static).
+    pub l1l2: f64,
+    /// Shared LLC (dynamic + static).
+    pub llc: f64,
+    /// Off-chip interconnect.
+    pub offchip: f64,
+    /// DRAM (all components).
+    pub dram: f64,
+}
+
+impl SystemEnergyBreakdown {
+    /// Total system energy (nJ).
+    #[must_use]
+    pub fn total(&self) -> f64 {
+        self.cpu + self.l1l2 + self.llc + self.offchip + self.dram
+    }
+
+    /// Component fractions `(cpu, l1l2, llc, offchip, dram)` of the total.
+    #[must_use]
+    pub fn fractions(&self) -> (f64, f64, f64, f64, f64) {
+        let t = self.total().max(1e-12);
+        (self.cpu / t, self.l1l2 / t, self.llc / t, self.offchip / t, self.dram / t)
+    }
+}
+
+impl SystemEnergyModel {
+    /// Computes the full-system breakdown for `activity`.
+    #[must_use]
+    pub fn breakdown(&self, a: &SystemActivity) -> SystemEnergyBreakdown {
+        let seconds = a.cpu_cycles as f64 / (self.cpu_ghz * 1e9);
+        let nj_static = |watts: f64| watts * seconds * 1e9;
+        let cpu = nj_static(self.core_static_w * f64::from(a.cores))
+            + a.instructions as f64 * self.core_dyn_nj_per_inst;
+        let l1l2 = nj_static(self.l1l2_static_w * f64::from(a.cores))
+            + a.l1_accesses as f64 * self.l1_nj
+            + a.l2_accesses as f64 * self.l2_nj;
+        let llc = nj_static(self.llc_static_w_per_mb * a.llc_mb) + a.llc_accesses as f64 * self.llc_nj;
+        let offchip = a.offchip_bytes as f64 * self.offchip_nj_per_byte;
+        SystemEnergyBreakdown { cpu, l1l2, llc, offchip, dram: a.dram.total() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn activity() -> SystemActivity {
+        SystemActivity {
+            cores: 8,
+            cpu_cycles: 4_000_000,
+            instructions: 8_000_000,
+            l1_accesses: 2_000_000,
+            l2_accesses: 400_000,
+            llc_accesses: 200_000,
+            offchip_bytes: 64 * 100_000,
+            llc_mb: 16.0,
+            dram: DramEnergyBreakdown { act_pre: 1e6, rd: 4e5, background: 8e5, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn total_is_sum_of_parts() {
+        let b = SystemEnergyModel::paper_default().breakdown(&activity());
+        let sum = b.cpu + b.l1l2 + b.llc + b.offchip + b.dram;
+        assert!((b.total() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractions_sum_to_one() {
+        let b = SystemEnergyModel::paper_default().breakdown(&activity());
+        let (a, c, d, e, f) = b.fractions();
+        assert!((a + c + d + e + f - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_dominates_but_dram_is_substantial_for_intensive_runs() {
+        // Sanity of calibration: on a memory-intensive profile, DRAM should
+        // be a visible share (paper Fig. 11 shows roughly 15-40%).
+        let b = SystemEnergyModel::paper_default().breakdown(&activity());
+        let (cpu, .., dram) = b.fractions();
+        assert!(cpu > 0.2, "cpu fraction {cpu}");
+        assert!(dram > 0.1 && dram < 0.7, "dram fraction {dram}");
+    }
+
+    #[test]
+    fn shorter_runtime_cuts_static_energy() {
+        let m = SystemEnergyModel::paper_default();
+        let mut a = activity();
+        let long = m.breakdown(&a);
+        a.cpu_cycles /= 2;
+        let short = m.breakdown(&a);
+        assert!(short.cpu < long.cpu);
+        assert!(short.llc < long.llc);
+    }
+}

@@ -1,0 +1,784 @@
+//! The per-channel memory controller: queues, FR-FCFS scheduling, write
+//! drain, refresh, and relocation-job execution.
+
+use figaro_core::{CacheEngine, CacheStats, RelocationJob, RowHammerMonitor};
+use figaro_dram::{
+    AddressMapping, BankAddr, Cycle, DramChannel, DramCommand, DramConfig, DramStats, RowId,
+};
+
+use crate::request::{Completion, Request};
+
+/// Controller configuration (the paper's Table 1 values by default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct McConfig {
+    /// Read queue capacity (paper: 64).
+    pub read_queue_cap: usize,
+    /// Write queue capacity (paper: 64).
+    pub write_queue_cap: usize,
+    /// Enter write-drain mode at this write-queue occupancy.
+    pub wq_high: usize,
+    /// Leave write-drain mode at this occupancy.
+    pub wq_low: usize,
+    /// Issue periodic refresh (disable only in micro-tests).
+    pub enable_refresh: bool,
+    /// Record per-row activation counts with this window (RowHammer
+    /// analysis); `None` disables monitoring.
+    pub activation_window: Option<Cycle>,
+}
+
+impl Default for McConfig {
+    fn default() -> Self {
+        Self {
+            read_queue_cap: 64,
+            write_queue_cap: 64,
+            wq_high: 40,
+            wq_low: 16,
+            enable_refresh: true,
+            activation_window: None,
+        }
+    }
+}
+
+/// Request-level statistics (row-buffer locality, latency, throughput).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct McStats {
+    /// Column commands that found their row already open.
+    pub row_hits: u64,
+    /// Column commands that required only an activation (bank was closed).
+    pub row_misses: u64,
+    /// Column commands that required closing another row first.
+    pub row_conflicts: u64,
+    /// Reads served (including write-queue forwards).
+    pub reads_served: u64,
+    /// Writes drained to DRAM.
+    pub writes_served: u64,
+    /// Reads served directly from the write queue.
+    pub forwarded: u64,
+    /// Σ read latency in bus cycles (arrival → data).
+    pub read_latency_sum: u64,
+    /// Reads enqueued.
+    pub enq_reads: u64,
+    /// Writes enqueued.
+    pub enq_writes: u64,
+}
+
+impl McStats {
+    /// DRAM row-buffer hit rate over demand column accesses (paper Fig. 10).
+    #[must_use]
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses + self.row_conflicts;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Average read latency in bus cycles.
+    #[must_use]
+    pub fn avg_read_latency(&self) -> f64 {
+        if self.reads_served == 0 {
+            0.0
+        } else {
+            self.read_latency_sum as f64 / self.reads_served as f64
+        }
+    }
+
+    /// Element-wise accumulation across channels.
+    pub fn merge_from(&mut self, o: &McStats) {
+        self.row_hits += o.row_hits;
+        self.row_misses += o.row_misses;
+        self.row_conflicts += o.row_conflicts;
+        self.reads_served += o.reads_served;
+        self.writes_served += o.writes_served;
+        self.forwarded += o.forwarded;
+        self.read_latency_sum += o.read_latency_sum;
+        self.enq_reads += o.enq_reads;
+        self.enq_writes += o.enq_writes;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    req: Request,
+    bank: BankAddr,
+    flat_bank: u32,
+    serve_row: RowId,
+    serve_col: u32,
+    saw_act: bool,
+    saw_conflict: bool,
+}
+
+/// One channel's memory controller. See the crate docs for the scheduling
+/// policy.
+#[derive(Debug)]
+pub struct MemoryController {
+    cfg: McConfig,
+    mapping: AddressMapping,
+    channel: DramChannel,
+    channel_id: u32,
+    engine: Box<dyn CacheEngine>,
+    read_q: Vec<Entry>,
+    write_q: Vec<Entry>,
+    drain_writes: bool,
+    next_refresh: Cycle,
+    refresh_pending: bool,
+    jobs: Vec<Option<RelocationJob>>,
+    completions: Vec<Completion>,
+    stats: McStats,
+    monitor: Option<RowHammerMonitor>,
+}
+
+impl MemoryController {
+    /// Builds a controller for channel `channel_id` of `dram` with the
+    /// given cache `engine` (use [`figaro_core::NullEngine`] for `Base`).
+    #[must_use]
+    pub fn new(dram: &DramConfig, cfg: McConfig, channel_id: u32, engine: Box<dyn CacheEngine>) -> Self {
+        let banks = dram.geometry.banks_per_channel() as usize;
+        Self {
+            cfg,
+            mapping: AddressMapping::new(dram.geometry),
+            channel: DramChannel::new(dram),
+            channel_id,
+            engine,
+            read_q: Vec::with_capacity(cfg.read_queue_cap),
+            write_q: Vec::with_capacity(cfg.write_queue_cap),
+            drain_writes: false,
+            next_refresh: Cycle::from(dram.timing.refi),
+            refresh_pending: false,
+            jobs: vec![None; banks],
+            completions: Vec::new(),
+            stats: McStats::default(),
+            monitor: cfg.activation_window.map(RowHammerMonitor::new),
+        }
+    }
+
+    /// Whether a request of the given kind can be accepted this cycle.
+    #[must_use]
+    pub fn can_accept(&self, is_write: bool) -> bool {
+        if is_write {
+            self.write_q.len() < self.cfg.write_queue_cap
+        } else {
+            self.read_q.len() < self.cfg.read_queue_cap
+        }
+    }
+
+    /// Enqueues a demand request. The cache engine is consulted here: the
+    /// request may be redirected to an in-DRAM cache row, and the engine
+    /// may schedule a relocation job as a side effect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the corresponding queue is full
+    /// (check [`MemoryController::can_accept`] first) or if the request's
+    /// address does not belong to this channel.
+    pub fn enqueue(&mut self, req: Request, now: Cycle) {
+        assert!(self.can_accept(req.is_write), "queue full");
+        let loc = self.mapping.decode(req.addr);
+        assert_eq!(loc.channel, self.channel_id, "request routed to the wrong channel");
+        let bank = BankAddr { rank: loc.rank, bankgroup: loc.bankgroup, bank: loc.bank };
+        let flat = loc.flat_bank(self.mapping.geometry());
+        let open = self.channel.open_row(bank);
+        let target = self.engine.on_request(flat, loc.row, loc.col, req.is_write, open, now);
+        let entry = Entry {
+            req,
+            bank,
+            flat_bank: flat,
+            serve_row: target.row,
+            serve_col: target.col,
+            saw_act: false,
+            saw_conflict: false,
+        };
+        if req.is_write {
+            self.stats.enq_writes += 1;
+            self.write_q.push(entry);
+        } else {
+            self.stats.enq_reads += 1;
+            // Read-around-write forwarding: a queued write to the same
+            // block satisfies the read without touching DRAM.
+            if self.write_q.iter().any(|w| w.req.addr == req.addr) {
+                self.stats.reads_served += 1;
+                self.stats.forwarded += 1;
+                self.stats.read_latency_sum += 1;
+                self.completions.push(Completion {
+                    id: req.id,
+                    done_at: now + 1,
+                    addr: req.addr,
+                    core: req.core,
+                });
+                return;
+            }
+            self.read_q.push(entry);
+        }
+    }
+
+    /// Takes all completions produced so far.
+    pub fn drain_completions(&mut self) -> Vec<Completion> {
+        std::mem::take(&mut self.completions)
+    }
+
+    /// True when no work remains (queues, active *and* pending relocation
+    /// jobs, completions all empty).
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.read_q.is_empty()
+            && self.write_q.is_empty()
+            && self.jobs.iter().all(Option::is_none)
+            && self.completions.is_empty()
+            && !(0..self.jobs.len()).any(|b| self.engine.has_pending_job(b as u32))
+    }
+
+    /// Request-level statistics.
+    #[must_use]
+    pub fn stats(&self) -> &McStats {
+        &self.stats
+    }
+
+    /// DRAM command statistics.
+    #[must_use]
+    pub fn dram_stats(&self) -> &DramStats {
+        self.channel.stats()
+    }
+
+    /// Cache-engine statistics.
+    #[must_use]
+    pub fn engine_stats(&self) -> CacheStats {
+        self.engine.stats()
+    }
+
+    /// The RowHammer monitor, when enabled.
+    #[must_use]
+    pub fn activation_monitor(&self) -> Option<&RowHammerMonitor> {
+        self.monitor.as_ref()
+    }
+
+    /// Read queue occupancy.
+    #[must_use]
+    pub fn read_queue_len(&self) -> usize {
+        self.read_q.len()
+    }
+
+    /// Write queue occupancy.
+    #[must_use]
+    pub fn write_queue_len(&self) -> usize {
+        self.write_q.len()
+    }
+
+    fn issue(&mut self, bank: BankAddr, cmd: &DramCommand, now: Cycle) -> Cycle {
+        if let Some(m) = &mut self.monitor {
+            let flat = {
+                let g = self.mapping.geometry();
+                (bank.rank * g.bankgroups + bank.bankgroup) * g.banks_per_group + bank.bank
+            };
+            match *cmd {
+                DramCommand::Activate { row } | DramCommand::ActivateMerge { row } => {
+                    m.record_act(flat, row, now);
+                }
+                DramCommand::LisaClone { src_row, dst_row } => {
+                    m.record_act(flat, src_row, now);
+                    m.record_act(flat, dst_row, now);
+                }
+                _ => {}
+            }
+        }
+        self.channel.issue(bank, cmd, now).completes_at
+    }
+
+    /// Advances the controller by one bus cycle, issuing at most one DRAM
+    /// command.
+    pub fn tick(&mut self, now: Cycle) {
+        // Fast path: nothing queued, no jobs, no refresh due.
+        if self.read_q.is_empty()
+            && self.write_q.is_empty()
+            && !self.refresh_pending
+            && (!self.cfg.enable_refresh || now < self.next_refresh)
+        {
+            let any_job = self.jobs.iter().any(Option::is_some)
+                || (0..self.jobs.len()).any(|b| self.engine.has_pending_job(b as u32));
+            if !any_job {
+                return;
+            }
+        }
+        // Write-drain hysteresis; also drain opportunistically when idle.
+        if self.write_q.len() >= self.cfg.wq_high {
+            self.drain_writes = true;
+        } else if self.write_q.len() <= self.cfg.wq_low {
+            self.drain_writes = false;
+        }
+        let serve_writes = self.drain_writes || (self.read_q.is_empty() && !self.write_q.is_empty());
+
+        if self.cfg.enable_refresh && now >= self.next_refresh {
+            self.refresh_pending = true;
+        }
+        if self.refresh_pending {
+            self.progress_refresh(now);
+            return;
+        }
+
+        // Debug ablation (FIGARO_FREE_RELOC=1): train commands cost no
+        // command-bus slot; used to attribute overhead between bus
+        // pressure and relocation latency.
+        if std::env::var_os("FIGARO_FREE_RELOC").is_some() {
+            for _ in 0..16 {
+                if !self.try_issue_job_step(now, true) {
+                    break;
+                }
+            }
+            self.start_pending_jobs(now);
+        }
+        // Priority 1: ready row-hit column commands (demand).
+        if self.try_issue_row_hit(serve_writes, now) {
+            return;
+        }
+        // Priority 2: RELOC trains — both in-flight (pinned) ones and
+        // pin-forming first RELOCs whose source row is open. Issuing the
+        // first RELOC immediately pins the source subarray, after which
+        // demand may close the row and move on; losing this race would
+        // force the job to re-activate its source row from scratch.
+        if self.try_issue_job_step(now, true) {
+            return;
+        }
+        // Priority 3: oldest-first ACT/PRE for waiting demand requests.
+        if self.try_issue_demand_prep(serve_writes, now) {
+            return;
+        }
+        // Priority 4: job setup (ensure-open activations, LISA clones,
+        // pin-forming first RELOCs) on spare command slots.
+        if self.try_issue_job_step(now, false) {
+            return;
+        }
+        // Priority 5: start pending jobs and try their first step.
+        self.start_pending_jobs(now);
+        let _ = self.try_issue_job_step(now, false);
+    }
+
+    fn progress_refresh(&mut self, now: Cycle) {
+        // Let active jobs finish first (their banks cannot be interrupted).
+        if self.jobs.iter().any(Option::is_some) {
+            let _ = self.try_issue_job_step(now, false);
+            return;
+        }
+        // Close any open bank, one per cycle.
+        let g = *self.mapping.geometry();
+        for rank in 0..g.ranks {
+            for bg in 0..g.bankgroups {
+                for b in 0..g.banks_per_group {
+                    let bank = BankAddr { rank, bankgroup: bg, bank: b };
+                    if self.channel.open_row(bank).is_some() || self.channel.must_precharge(bank) {
+                        if self.channel.can_issue(bank, &DramCommand::Precharge, now) {
+                            self.issue(bank, &DramCommand::Precharge, now);
+                            return;
+                        }
+                        return; // wait for tRAS etc.
+                    }
+                }
+            }
+        }
+        // All banks closed: refresh each rank (single-rank systems issue one).
+        let bank = BankAddr { rank: 0, bankgroup: 0, bank: 0 };
+        if self.channel.can_issue(bank, &DramCommand::Refresh, now) {
+            self.issue(bank, &DramCommand::Refresh, now);
+            let refi = Cycle::from(self.channel.config().timing.refi);
+            self.next_refresh += refi;
+            self.refresh_pending = false;
+        }
+    }
+
+    fn classify_and_count(&mut self, entry: &Entry) {
+        if entry.saw_conflict {
+            self.stats.row_conflicts += 1;
+        } else if entry.saw_act {
+            self.stats.row_misses += 1;
+        } else {
+            self.stats.row_hits += 1;
+        }
+    }
+
+    fn try_issue_row_hit(&mut self, serve_writes: bool, now: Cycle) -> bool {
+        let queue = if serve_writes { &self.write_q } else { &self.read_q };
+        let mut best: Option<(usize, Cycle)> = None;
+        for (i, e) in queue.iter().enumerate() {
+            if self.channel.open_row(e.bank) != Some(e.serve_row) || self.channel.must_precharge(e.bank) {
+                continue;
+            }
+            let cmd = if e.req.is_write {
+                DramCommand::Write { col: e.serve_col, auto_pre: false }
+            } else {
+                DramCommand::Read { col: e.serve_col, auto_pre: false }
+            };
+            if self.channel.can_issue(e.bank, &cmd, now) {
+                let arrival = e.req.arrival;
+                if best.map_or(true, |(_, a)| arrival < a) {
+                    best = Some((i, arrival));
+                }
+            }
+        }
+        let Some((idx, _)) = best else { return false };
+        let entry = if serve_writes { self.write_q.remove(idx) } else { self.read_q.remove(idx) };
+        let cmd = if entry.req.is_write {
+            DramCommand::Write { col: entry.serve_col, auto_pre: false }
+        } else {
+            DramCommand::Read { col: entry.serve_col, auto_pre: false }
+        };
+        let done = self.issue(entry.bank, &cmd, now);
+        self.classify_and_count(&entry);
+        if entry.req.is_write {
+            self.stats.writes_served += 1;
+        } else {
+            self.stats.reads_served += 1;
+            self.stats.read_latency_sum += done - entry.req.arrival;
+            self.completions.push(Completion {
+                id: entry.req.id,
+                done_at: done,
+                addr: entry.req.addr,
+                core: entry.req.core,
+            });
+        }
+        true
+    }
+
+    /// Issues one step of an active job. With `trains_only`, only train
+    /// commands (`RELOC`/merge) are considered — job setup (precharges,
+    /// ensure-open activations, LISA clones) waits for spare slots.
+    fn try_issue_job_step(&mut self, now: Cycle, trains_only: bool) -> bool {
+        for bank_idx in 0..self.jobs.len() {
+            let Some(job) = self.jobs[bank_idx] else { continue };
+            let bank = self.bank_addr_of(bank_idx as u32);
+            let open = self.channel.open_row(bank);
+            let must_pre = self.channel.must_precharge(bank);
+            if trains_only
+                && !matches!(
+                    job.peek(open, must_pre),
+                    Some(DramCommand::Reloc { .. } | DramCommand::RelocBurst { .. } | DramCommand::ActivateMerge { .. })
+                )
+            {
+                continue;
+            }
+            let Some(cmd) = job.peek(open, must_pre) else {
+                // Shouldn't happen (done jobs are retired on issue), but be safe.
+                self.retire_job(bank_idx, now);
+                continue;
+            };
+            if self.channel.can_issue(bank, &cmd, now) {
+                self.issue(bank, &cmd, now);
+                let job_mut = self.jobs[bank_idx].as_mut().expect("job present");
+                job_mut.on_issued(&cmd);
+                if job_mut.is_done() {
+                    self.retire_job(bank_idx, now);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    fn retire_job(&mut self, bank_idx: usize, now: Cycle) {
+        if let Some(job) = self.jobs[bank_idx].take() {
+            self.engine.on_job_complete(bank_idx as u32, job.id, now);
+        }
+    }
+
+    fn start_pending_jobs(&mut self, now: Cycle) {
+        for bank_idx in 0..self.jobs.len() {
+            if self.jobs[bank_idx].is_some() || !self.engine.has_pending_job(bank_idx as u32) {
+                continue;
+            }
+            // FIGARO relocations pin two subarrays but leave the rest of
+            // the bank servable, so start them eagerly when their source
+            // row is open (the paper's "relocate while the row serving
+            // the miss is open") or as soon as the bank has no waiting
+            // demand. LISA clones occupy the whole bank, so they only
+            // start on an idle bank.
+            let bank = bank_idx as u32;
+            let cheap = self
+                .engine
+                .next_job_source(bank)
+                .is_some_and(|src| self.channel.open_row(self.bank_addr_of(bank)) == Some(src));
+            let has_demand = self.read_q.iter().chain(self.write_q.iter()).any(|e| e.flat_bank == bank);
+            if cheap || !has_demand {
+                self.jobs[bank_idx] = self.engine.take_job(bank, now);
+            }
+        }
+    }
+
+    fn bank_addr_of(&self, flat: u32) -> BankAddr {
+        let g = self.mapping.geometry();
+        let rank = flat / g.banks_per_rank();
+        let rem = flat % g.banks_per_rank();
+        BankAddr { rank, bankgroup: rem / g.banks_per_group, bank: rem % g.banks_per_group }
+    }
+
+    fn try_issue_demand_prep(&mut self, serve_writes: bool, now: Cycle) -> bool {
+        // Oldest-first over the active queue (entries are pushed in arrival
+        // order and removals preserve order, so the queue is sorted); one
+        // ACT or PRE per cycle. Decide immutably, then issue.
+        enum Prep {
+            Act(usize),
+            Pre(usize),
+        }
+        let mut decision = None;
+        {
+            let queue = if serve_writes { &self.write_q } else { &self.read_q };
+            'outer: for (i, e) in queue.iter().enumerate() {
+                let job_active = self.jobs[e.flat_bank as usize].is_some();
+                if job_active && !self.channel.is_pinned(e.bank) {
+                    continue; // the bank belongs to a job still setting up
+                }
+                match self.channel.open_row(e.bank) {
+                    Some(r) if r == e.serve_row => continue, // handled as a row hit
+                    Some(open) => {
+                        // Conflict: close the row, but not while other
+                        // queued requests can still hit it.
+                        for o in queue {
+                            if o.flat_bank == e.flat_bank && o.serve_row == open {
+                                continue 'outer;
+                            }
+                        }
+                        if self.channel.can_issue(e.bank, &DramCommand::Precharge, now) {
+                            decision = Some(Prep::Pre(i));
+                            break;
+                        }
+                    }
+                    None => {
+                        let act = DramCommand::Activate { row: e.serve_row };
+                        if self.channel.can_issue(e.bank, &act, now) {
+                            decision = Some(Prep::Act(i));
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        match decision {
+            Some(Prep::Pre(i)) => {
+                let (bank, _) = {
+                    let q = if serve_writes { &mut self.write_q } else { &mut self.read_q };
+                    q[i].saw_conflict = true;
+                    (q[i].bank, ())
+                };
+                self.issue(bank, &DramCommand::Precharge, now);
+                true
+            }
+            Some(Prep::Act(i)) => {
+                let (bank, row) = {
+                    let q = if serve_writes { &mut self.write_q } else { &mut self.read_q };
+                    q[i].saw_act = true;
+                    (q[i].bank, q[i].serve_row)
+                };
+                self.issue(bank, &DramCommand::Activate { row }, now);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use figaro_core::{FigCacheConfig, FigCacheEngine, NullEngine};
+    use figaro_dram::{DramConfig, PhysAddr, SubarrayLayout};
+
+    fn base_mc(enable_refresh: bool) -> MemoryController {
+        let dram = DramConfig::ddr4_paper_default();
+        let cfg = McConfig { enable_refresh, ..McConfig::default() };
+        MemoryController::new(&dram, cfg, 0, Box::new(NullEngine::new()))
+    }
+
+    fn fig_mc() -> MemoryController {
+        let dram = DramConfig {
+            layout: SubarrayLayout::homogeneous(64, 512).with_appended_fast(2, 32),
+            ..DramConfig::ddr4_paper_default()
+        };
+        let engine = FigCacheEngine::new(&dram, &FigCacheConfig::paper_fast(), 16);
+        let cfg = McConfig { enable_refresh: false, ..McConfig::default() };
+        MemoryController::new(&dram, cfg, 0, Box::new(engine))
+    }
+
+    fn read(id: u64, addr: u64, now: Cycle) -> Request {
+        Request { id, addr: PhysAddr(addr), is_write: false, core: 0, arrival: now }
+    }
+
+    fn write(id: u64, addr: u64, now: Cycle) -> Request {
+        Request { id, addr: PhysAddr(addr), is_write: true, core: 0, arrival: now }
+    }
+
+    /// Ticks until `n` completions exist or `limit` cycles pass.
+    fn run_until_completions(mc: &mut MemoryController, start: Cycle, n: usize, limit: Cycle) -> (Vec<Completion>, Cycle) {
+        let mut done = Vec::new();
+        let mut t = start;
+        while done.len() < n && t < start + limit {
+            mc.tick(t);
+            done.extend(mc.drain_completions());
+            t += 1;
+        }
+        (done, t)
+    }
+
+    #[test]
+    fn single_read_completes_with_act_rd_latency() {
+        let mut mc = base_mc(false);
+        mc.enqueue(read(1, 0, 0), 0);
+        let (done, _) = run_until_completions(&mut mc, 0, 1, 1000);
+        assert_eq!(done.len(), 1);
+        // ACT at 0 (first tick), RD at tRCD=11, data at 11 + CL + BL = 26.
+        assert_eq!(done[0].done_at, 26);
+        assert_eq!(mc.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn second_read_same_row_is_a_row_hit() {
+        let mut mc = base_mc(false);
+        mc.enqueue(read(1, 0, 0), 0);
+        mc.enqueue(read(2, 64, 0), 0);
+        let (done, _) = run_until_completions(&mut mc, 0, 2, 1000);
+        assert_eq!(done.len(), 2);
+        assert_eq!(mc.stats().row_hits, 1);
+        assert_eq!(mc.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn conflicting_rows_count_a_conflict() {
+        let mut mc = base_mc(false);
+        // Same bank (bank field beyond column bits), different rows.
+        let row_stride = 128 * 64 * 16; // one full row across all banks
+        mc.enqueue(read(1, 0, 0), 0);
+        let (_, t) = run_until_completions(&mut mc, 0, 1, 1000);
+        mc.enqueue(read(2, row_stride, t), t);
+        let (done, _) = run_until_completions(&mut mc, t, 1, 1000);
+        assert_eq!(done.len(), 1);
+        assert_eq!(mc.stats().row_conflicts, 1);
+    }
+
+    #[test]
+    fn reads_to_different_banks_overlap() {
+        let mut mc = base_mc(false);
+        // Four reads, four different banks.
+        for b in 0..4u64 {
+            mc.enqueue(read(b, b * 128 * 64, 0), 0);
+        }
+        let (done, t) = run_until_completions(&mut mc, 0, 4, 1000);
+        assert_eq!(done.len(), 4);
+        // Bank-level parallelism: far faster than 4 serialized ACT+RD.
+        assert!(t < 80, "four banks should overlap, took {t}");
+    }
+
+    #[test]
+    fn write_then_read_forwards_from_write_queue() {
+        let mut mc = base_mc(false);
+        mc.enqueue(write(1, 4096, 0), 0);
+        mc.enqueue(read(2, 4096, 1), 1);
+        assert_eq!(mc.stats().forwarded, 1);
+        let done = mc.drain_completions();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].done_at, 2);
+    }
+
+    #[test]
+    fn writes_drain_when_reads_are_absent() {
+        let mut mc = base_mc(false);
+        for i in 0..4u64 {
+            mc.enqueue(write(i, i * 64, 0), 0);
+        }
+        let mut t = 0;
+        while mc.write_queue_len() > 0 && t < 2000 {
+            mc.tick(t);
+            t += 1;
+        }
+        assert_eq!(mc.write_queue_len(), 0);
+        assert_eq!(mc.stats().writes_served, 4);
+    }
+
+    #[test]
+    fn refresh_happens_and_blocks_progress() {
+        let mut mc = base_mc(true);
+        let refi = u64::from(DramConfig::ddr4_paper_default().timing.refi);
+        let mut t = 0;
+        // Run past one refresh interval with no traffic.
+        while t < refi + 400 {
+            mc.tick(t);
+            t += 1;
+        }
+        assert_eq!(mc.dram_stats().refreshes, 1);
+    }
+
+    #[test]
+    fn figcache_miss_spawns_relocation_and_next_access_hits_cache() {
+        let mut mc = fig_mc();
+        mc.enqueue(read(1, 0, 0), 0);
+        let (done, t) = run_until_completions(&mut mc, 0, 1, 2000);
+        assert_eq!(done.len(), 1);
+        // Let the relocation job run to completion.
+        let mut t = t;
+        while !mc.is_idle() && t < 4000 {
+            mc.tick(t);
+            t += 1;
+        }
+        assert_eq!(mc.engine_stats().insertions, 1);
+        assert_eq!(mc.dram_stats().relocs, 16);
+        assert_eq!(mc.dram_stats().merges_fast, 1);
+        // Second access to the same segment: engine reports a cache hit.
+        mc.enqueue(read(2, 64, t), t);
+        let (done2, _) = run_until_completions(&mut mc, t, 1, 2000);
+        assert_eq!(done2.len(), 1);
+        assert_eq!(mc.engine_stats().hits, 1);
+        // The hit is served either from the fast cache row or - if the
+        // source row is still open after the relocation - via the
+        // open-row bypass.
+        assert!(
+            mc.dram_stats().activates_fast >= 1 || mc.engine_stats().hits_bypassed >= 1,
+            "hit must come from the cache row or the open source row"
+        );
+    }
+
+    #[test]
+    fn row_hits_have_priority_over_relocation_steps() {
+        let mut mc = fig_mc();
+        // First read opens row 0 and triggers an insertion job.
+        mc.enqueue(read(1, 0, 0), 0);
+        let (_, t0) = run_until_completions(&mut mc, 0, 1, 2000);
+        // Enqueue a burst of row hits while the job is relocating.
+        for i in 0..8u64 {
+            mc.enqueue(read(10 + i, 64 * (i + 2), t0), t0);
+        }
+        let (done, _) = run_until_completions(&mut mc, t0, 8, 4000);
+        assert_eq!(done.len(), 8);
+        // All 8 were served as row hits (the job never closed the row
+        // before they issued).
+        assert!(mc.stats().row_hits >= 8, "row hits = {}", mc.stats().row_hits);
+    }
+
+    #[test]
+    fn is_idle_reflects_outstanding_work() {
+        let mut mc = base_mc(false);
+        assert!(mc.is_idle());
+        mc.enqueue(read(1, 0, 0), 0);
+        assert!(!mc.is_idle());
+        let _ = run_until_completions(&mut mc, 0, 1, 1000);
+        assert!(mc.is_idle());
+    }
+
+    #[test]
+    fn activation_monitor_records_acts() {
+        let dram = DramConfig::ddr4_paper_default();
+        let cfg = McConfig {
+            enable_refresh: false,
+            activation_window: Some(1_000_000),
+            ..McConfig::default()
+        };
+        let mut mc = MemoryController::new(&dram, cfg, 0, Box::new(NullEngine::new()));
+        mc.enqueue(read(1, 0, 0), 0);
+        let _ = run_until_completions(&mut mc, 0, 1, 1000);
+        let mon = mc.activation_monitor().unwrap();
+        assert_eq!(mon.total_acts(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "queue full")]
+    fn enqueue_past_capacity_panics() {
+        let mut mc = base_mc(false);
+        for i in 0..=64u64 {
+            mc.enqueue(read(i, i * 64, 0), 0);
+        }
+    }
+}

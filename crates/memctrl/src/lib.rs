@@ -1,0 +1,31 @@
+//! # figaro-memctrl — FR-FCFS memory controller with in-DRAM cache hooks
+//!
+//! One [`MemoryController`] drives one DRAM channel:
+//!
+//! * 64-entry read and write queues with write-drain watermarks
+//!   (writes are buffered and drained in bursts, with read-around-write
+//!   forwarding from the write queue);
+//! * **FR-FCFS** scheduling: ready row-hit column commands first, then
+//!   oldest-first activation/precharge for waiting requests;
+//! * periodic all-bank **refresh** (tREFI/tRFC) with bank draining;
+//! * a pluggable [`figaro_core::CacheEngine`]: every demand request is
+//!   looked up (and possibly redirected into the in-DRAM cache region),
+//!   and the controller executes the engine's relocation jobs on the
+//!   banks, giving demand row hits priority over relocation commands —
+//!   exactly the policy the paper's Section 8.1 describes (`RELOC`s are
+//!   issued while the row serving the miss is still open);
+//! * optional activation monitoring for the RowHammer analysis
+//!   (Section 6).
+//!
+//! The controller is clocked in DRAM bus cycles via
+//! [`MemoryController::tick`]; at most one command issues per cycle
+//! (single command bus).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod controller;
+pub mod request;
+
+pub use controller::{McConfig, McStats, MemoryController};
+pub use request::{Completion, Request};

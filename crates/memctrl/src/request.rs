@@ -1,0 +1,44 @@
+//! Memory requests and completions exchanged between the cache hierarchy
+//! and the memory controller.
+
+use figaro_dram::{Cycle, PhysAddr};
+
+/// A demand memory request at cache-block granularity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Request {
+    /// Caller-assigned id echoed in the [`Completion`].
+    pub id: u64,
+    /// Block-aligned physical address.
+    pub addr: PhysAddr,
+    /// `true` for writebacks, `false` for fills/loads.
+    pub is_write: bool,
+    /// Originating core (for per-core statistics).
+    pub core: u8,
+    /// Bus cycle the request entered the controller.
+    pub arrival: Cycle,
+}
+
+/// Completion notice for a read request (writes are posted).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The request's id.
+    pub id: u64,
+    /// Bus cycle at which the data burst finishes.
+    pub done_at: Cycle,
+    /// The request's address.
+    pub addr: PhysAddr,
+    /// The request's originating core.
+    pub core: u8,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_is_plain_data() {
+        let r = Request { id: 1, addr: PhysAddr(64), is_write: false, core: 2, arrival: 3 };
+        let r2 = r;
+        assert_eq!(r, r2);
+    }
+}

@@ -1,0 +1,72 @@
+//! Diagnostic runner: `diag <app> <config> [scale]` prints the full
+//! statistics of one single-core run — the tool for understanding *why*
+//! a configuration behaves the way it does.
+
+use figaro_sim::runner::Scale;
+use figaro_sim::{ConfigKind, SystemConfig, System};
+use figaro_workloads::profile_by_name;
+
+fn parse_kind(name: &str) -> ConfigKind {
+    match name {
+        "base" => ConfigKind::Base,
+        "lisa" => ConfigKind::LisaVilla,
+        "slow" => ConfigKind::FigCacheSlow,
+        "fast" => ConfigKind::FigCacheFast,
+        "ideal" => ConfigKind::FigCacheIdeal,
+        "ll" => ConfigKind::LlDram,
+        other => panic!("unknown config `{other}` (base|lisa|slow|fast|ideal|ll)"),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app = args.get(1).map_or("mcf", String::as_str);
+    let kind = parse_kind(args.get(2).map_or("fast", String::as_str));
+    let scale = match args.get(3).map(String::as_str) {
+        Some("tiny") => Scale::Tiny,
+        Some("full") => Scale::Full,
+        _ => Scale::Small,
+    };
+    let profile = profile_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
+    let runner = figaro_sim::Runner::uncached(scale);
+    let trace = runner.trace_for(&profile, 0);
+    let insts = (scale.target_insts() as f64 * (profile.nonmem_per_mem + 1.0) / 3.0) as u64;
+    let insts = insts.clamp(scale.target_insts(), scale.target_insts() * 12);
+    let cfg = SystemConfig::paper(1, kind.clone());
+    let mut sys = System::new(cfg, vec![trace], &[insts]);
+    let s = sys.run(insts * 400);
+
+    println!("app={app} config={} insts={insts}", kind.label());
+    println!("cycles            : {}", s.cpu_cycles);
+    println!("IPC               : {:.4}", s.ipc(0));
+    println!("MPKI              : {:.2}", s.mpki(0));
+    println!("LLC hit rate      : {:.3}", s.hierarchy.llc.hit_rate());
+    println!("DRAM reads/writes : {} / {}", s.mc.reads_served, s.mc.writes_served);
+    println!("avg read latency  : {:.1} bus cycles", s.mc.avg_read_latency());
+    println!(
+        "row hit/miss/conf : {} / {} / {}  (hit rate {:.3})",
+        s.mc.row_hits, s.mc.row_misses, s.mc.row_conflicts, s.row_hit_rate()
+    );
+    println!(
+        "acts slow/fast    : {} / {}   merges {} / {}",
+        s.dram.activates, s.dram.activates_fast, s.dram.merges, s.dram.merges_fast
+    );
+    println!("relocs / clones   : {} / {} (hops {})", s.dram.relocs, s.dram.lisa_clones, s.dram.lisa_hops);
+    println!(
+        "cache: lookups {} hits {} (bypassed {}) miss {} hitrate {:.3}",
+        s.cache.lookups, s.cache.hits, s.cache.hits_bypassed, s.cache.misses, s.cache_hit_rate()
+    );
+    println!(
+        "cache: ins {} skip {} cancel {} evc {} evd {}",
+        s.cache.insertions,
+        s.cache.insertions_skipped,
+        s.cache.insertions_cancelled,
+        s.cache.evictions_clean,
+        s.cache.evictions_dirty
+    );
+    println!("bank_open_cycles  : {}", s.dram.bank_open_cycles);
+    println!(
+        "energy nJ         : cpu {:.0} l1l2 {:.0} llc {:.0} off {:.0} dram {:.0}",
+        s.energy.cpu, s.energy.l1l2, s.energy.llc, s.energy.offchip, s.energy.dram
+    );
+}

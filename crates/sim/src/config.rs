@@ -1,0 +1,231 @@
+//! System configurations: the six evaluated mechanisms plus the sweep
+//! variants of Section 9.
+
+use figaro_core::{
+    CacheEngine, FigCacheConfig, FigCacheEngine, LisaVillaConfig, LisaVillaEngine, NullEngine,
+};
+use figaro_cpu::{CoreParams, HierarchyConfig};
+use figaro_dram::{DramConfig, SubarrayLayout};
+use figaro_memctrl::McConfig;
+
+/// Which in-DRAM mechanism a system uses (paper Section 8 names).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigKind {
+    /// Conventional DDR4.
+    Base,
+    /// LISA-VILLA with the paper's 16 interleaved fast subarrays.
+    LisaVilla,
+    /// FIGCache in 64 reserved slow rows.
+    FigCacheSlow,
+    /// FIGCache in two appended fast subarrays.
+    FigCacheFast,
+    /// FIGCache-Fast with zero-cost relocation.
+    FigCacheIdeal,
+    /// All subarrays fast, no caching.
+    LlDram,
+    /// FIGCache-Fast with a custom cache configuration (sweeps).
+    FigCacheCustom(FigCacheConfig),
+}
+
+impl ConfigKind {
+    /// Display label matching the paper's figures.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            ConfigKind::Base => "Base",
+            ConfigKind::LisaVilla => "LISA-VILLA",
+            ConfigKind::FigCacheSlow => "FIGCache-Slow",
+            ConfigKind::FigCacheFast => "FIGCache-Fast",
+            ConfigKind::FigCacheIdeal => "FIGCache-Ideal",
+            ConfigKind::LlDram => "LL-DRAM",
+            ConfigKind::FigCacheCustom(_) => "FIGCache-Custom",
+        }
+    }
+
+    /// The five mechanisms plotted against `Base` in Figures 7 and 8.
+    #[must_use]
+    pub fn figure78_set() -> Vec<ConfigKind> {
+        vec![
+            ConfigKind::LisaVilla,
+            ConfigKind::FigCacheSlow,
+            ConfigKind::FigCacheFast,
+            ConfigKind::FigCacheIdeal,
+            ConfigKind::LlDram,
+        ]
+    }
+}
+
+/// A complete system description (paper Table 1 defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// Number of cores (1 or 8 in the paper).
+    pub cores: usize,
+    /// Memory channels (1 for single-core, 4 for eight-core).
+    pub channels: u32,
+    /// Mechanism under evaluation.
+    pub kind: ConfigKind,
+    /// Core width/window.
+    pub core: CoreParams,
+    /// Cache hierarchy parameters.
+    pub hierarchy: HierarchyConfig,
+    /// Memory-controller parameters.
+    pub mc: McConfig,
+    /// CPU cycles per DRAM bus cycle (3.2 GHz / 800 MHz = 4).
+    pub cpu_cycles_per_bus: u64,
+}
+
+impl SystemConfig {
+    /// The paper's system for `cores` cores running `kind`
+    /// (1 core → 1 channel, otherwise 4 channels).
+    #[must_use]
+    pub fn paper(cores: usize, kind: ConfigKind) -> Self {
+        Self {
+            cores,
+            channels: if cores == 1 { 1 } else { 4 },
+            kind,
+            core: CoreParams::paper_default(),
+            hierarchy: HierarchyConfig::paper_default(cores),
+            mc: McConfig::default(),
+            cpu_cycles_per_bus: 4,
+        }
+    }
+
+    /// The DRAM device layout implied by the mechanism.
+    #[must_use]
+    pub fn dram_config(&self) -> DramConfig {
+        let base = DramConfig::ddr4_paper_default();
+        let geometry = base.geometry.with_channels(self.channels);
+        let layout = match &self.kind {
+            ConfigKind::Base | ConfigKind::FigCacheSlow => SubarrayLayout::homogeneous(64, 512),
+            ConfigKind::LisaVilla => SubarrayLayout::homogeneous(64, 512).with_interleaved_fast(16, 32),
+            ConfigKind::FigCacheFast | ConfigKind::FigCacheIdeal => {
+                SubarrayLayout::homogeneous(64, 512).with_appended_fast(2, 32)
+            }
+            ConfigKind::LlDram => SubarrayLayout::all_fast(64, 512),
+            ConfigKind::FigCacheCustom(cfg) => match cfg.region {
+                figaro_core::CacheRegion::ReservedSlowRows => SubarrayLayout::homogeneous(64, 512),
+                figaro_core::CacheRegion::FastSubarrays => {
+                    let count = cfg.cache_rows_per_bank.div_ceil(32).max(1);
+                    SubarrayLayout::homogeneous(64, 512).with_appended_fast(count, 32)
+                }
+            },
+        };
+        DramConfig { geometry, layout, ..base }
+    }
+
+    /// Builds the cache engine for one channel.
+    #[must_use]
+    pub fn build_engine(&self, dram: &DramConfig) -> Box<dyn CacheEngine> {
+        let banks = dram.geometry.banks_per_channel();
+        match &self.kind {
+            ConfigKind::Base | ConfigKind::LlDram => Box::new(NullEngine::new()),
+            ConfigKind::LisaVilla => {
+                Box::new(LisaVillaEngine::new(dram, &LisaVillaConfig::paper_default(), banks))
+            }
+            ConfigKind::FigCacheSlow => {
+                Box::new(FigCacheEngine::new(dram, &FigCacheConfig::paper_slow(), banks))
+            }
+            ConfigKind::FigCacheFast => {
+                Box::new(FigCacheEngine::new(dram, &FigCacheConfig::paper_fast(), banks))
+            }
+            ConfigKind::FigCacheIdeal => {
+                Box::new(FigCacheEngine::new(dram, &FigCacheConfig::paper_ideal(), banks))
+            }
+            ConfigKind::FigCacheCustom(cfg) => Box::new(FigCacheEngine::new(dram, cfg, banks)),
+        }
+    }
+
+    /// A FIGCache-Fast sweep point with `fast_subarrays` fast subarrays of
+    /// 32 rows each (Fig. 12).
+    #[must_use]
+    pub fn fig12_point(cores: usize, fast_subarrays: u32) -> Self {
+        let cfg = FigCacheConfig {
+            cache_rows_per_bank: fast_subarrays * 32,
+            ..FigCacheConfig::paper_fast()
+        };
+        Self::paper(cores, ConfigKind::FigCacheCustom(cfg))
+    }
+
+    /// A FIGCache-Fast sweep point with `blocks` blocks per segment
+    /// (Fig. 13; 8 → 512 B … 128 → 8 kB).
+    #[must_use]
+    pub fn fig13_point(cores: usize, blocks: u32) -> Self {
+        let cfg = FigCacheConfig { blocks_per_segment: blocks, ..FigCacheConfig::paper_fast() };
+        Self::paper(cores, ConfigKind::FigCacheCustom(cfg))
+    }
+
+    /// A FIGCache-Fast sweep point with a different replacement policy
+    /// (Fig. 14).
+    #[must_use]
+    pub fn fig14_point(cores: usize, policy: figaro_core::ReplacementPolicy) -> Self {
+        let cfg = FigCacheConfig { replacement: policy, ..FigCacheConfig::paper_fast() };
+        Self::paper(cores, ConfigKind::FigCacheCustom(cfg))
+    }
+
+    /// A FIGCache-Fast sweep point with insertion threshold `n` (Fig. 15).
+    #[must_use]
+    pub fn fig15_point(cores: usize, n: u32) -> Self {
+        let cfg = FigCacheConfig {
+            insertion: figaro_core::InsertionPolicy { miss_threshold: n },
+            ..FigCacheConfig::paper_fast()
+        };
+        Self::paper(cores, ConfigKind::FigCacheCustom(cfg))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_channel_rule() {
+        assert_eq!(SystemConfig::paper(1, ConfigKind::Base).channels, 1);
+        assert_eq!(SystemConfig::paper(8, ConfigKind::Base).channels, 4);
+    }
+
+    #[test]
+    fn dram_layouts_match_mechanisms() {
+        let lisa = SystemConfig::paper(8, ConfigKind::LisaVilla).dram_config();
+        assert_eq!(lisa.layout.fast_count(), 16);
+        let fast = SystemConfig::paper(8, ConfigKind::FigCacheFast).dram_config();
+        assert_eq!(fast.layout.fast_count(), 2);
+        let slow = SystemConfig::paper(8, ConfigKind::FigCacheSlow).dram_config();
+        assert_eq!(slow.layout.fast_count(), 0);
+        let ll = SystemConfig::paper(8, ConfigKind::LlDram).dram_config();
+        assert!(ll.layout.all_fast);
+    }
+
+    #[test]
+    fn engines_build_for_every_kind() {
+        for kind in [
+            ConfigKind::Base,
+            ConfigKind::LisaVilla,
+            ConfigKind::FigCacheSlow,
+            ConfigKind::FigCacheFast,
+            ConfigKind::FigCacheIdeal,
+            ConfigKind::LlDram,
+        ] {
+            let cfg = SystemConfig::paper(1, kind);
+            let dram = cfg.dram_config();
+            dram.validate().unwrap();
+            let _ = cfg.build_engine(&dram);
+        }
+    }
+
+    #[test]
+    fn fig12_point_scales_cache_rows_and_layout() {
+        let cfg = SystemConfig::fig12_point(8, 8);
+        let dram = cfg.dram_config();
+        assert_eq!(dram.layout.fast_count(), 8);
+        let ConfigKind::FigCacheCustom(fc) = &cfg.kind else { panic!() };
+        assert_eq!(fc.cache_rows_per_bank, 256);
+        let _ = cfg.build_engine(&dram);
+    }
+
+    #[test]
+    fn fig13_whole_row_segments_build() {
+        let cfg = SystemConfig::fig13_point(1, 128);
+        let dram = cfg.dram_config();
+        let _ = cfg.build_engine(&dram);
+    }
+}

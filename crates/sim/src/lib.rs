@@ -1,0 +1,52 @@
+//! # figaro-sim — full-system simulation and the paper's experiments
+//!
+//! Assembles the whole evaluated stack — trace-driven cores and cache
+//! hierarchy (`figaro-cpu`), per-channel FR-FCFS memory controllers
+//! (`figaro-memctrl`), the cycle-level DRAM model (`figaro-dram`), the
+//! FIGCache / LISA-VILLA engines (`figaro-core`), synthetic workloads
+//! (`figaro-workloads`) and the energy models (`figaro-energy`) — into
+//! runnable systems, and defines every experiment of the paper's
+//! evaluation section (Figures 7–15, Tables 1–2, the Section 8
+//! aggregates).
+//!
+//! The six evaluated configurations ([`ConfigKind`]):
+//!
+//! | Name | Meaning |
+//! |---|---|
+//! | `Base` | conventional DDR4, no in-DRAM cache |
+//! | `LISA-VILLA` | row-granularity cache, 16 interleaved fast subarrays |
+//! | `FIGCache-Slow` | segment cache in 64 reserved slow rows |
+//! | `FIGCache-Fast` | segment cache in 2 appended fast subarrays |
+//! | `FIGCache-Ideal` | FIGCache-Fast with free relocation |
+//! | `LL-DRAM` | every subarray fast, no cache (latency upper bound) |
+//!
+//! Clock domains follow Table 1: cores at 3.2 GHz, DDR4-1600 bus at
+//! 800 MHz (one controller tick per four CPU cycles).
+//!
+//! ## Example
+//!
+//! ```
+//! use figaro_sim::{ConfigKind, Runner, Scale};
+//! use figaro_workloads::profile_by_name;
+//!
+//! let runner = Runner::new(Scale::Tiny);
+//! let mcf = profile_by_name("mcf").unwrap();
+//! let base = runner.run_single(&mcf, ConfigKind::Base);
+//! let fig = runner.run_single(&mcf, ConfigKind::FigCacheFast);
+//! assert!(fig.ipc[0] > 0.0 && base.ipc[0] > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod system;
+
+pub use config::{ConfigKind, SystemConfig};
+pub use metrics::RunStats;
+pub use runner::{Runner, Scale};
+pub use system::System;

@@ -1,0 +1,127 @@
+//! Run-level statistics and the paper's performance metrics.
+
+use figaro_core::CacheStats;
+use figaro_cpu::{CoreStats, HierarchyStats};
+use figaro_dram::DramStats;
+use figaro_energy::SystemEnergyBreakdown;
+use figaro_memctrl::McStats;
+
+/// Everything a finished simulation reports.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// CPU cycles the run took (until the last core finished).
+    pub cpu_cycles: u64,
+    /// Per-core finish cycle.
+    pub finish_cycles: Vec<u64>,
+    /// Per-core retired instructions.
+    pub instructions: Vec<u64>,
+    /// Per-core detailed counters.
+    pub cores: Vec<CoreStats>,
+    /// Merged request-level controller stats (all channels).
+    pub mc: McStats,
+    /// Merged DRAM command stats (all channels).
+    pub dram: DramStats,
+    /// Merged cache-engine stats (all channels).
+    pub cache: CacheStats,
+    /// Cache-hierarchy stats.
+    pub hierarchy: HierarchyStats,
+    /// System energy breakdown.
+    pub energy: SystemEnergyBreakdown,
+}
+
+impl RunStats {
+    /// IPC of `core` (instructions / its finish cycle).
+    #[must_use]
+    pub fn ipc(&self, core: usize) -> f64 {
+        let cycles = self.finish_cycles[core].max(1);
+        self.instructions[core] as f64 / cycles as f64
+    }
+
+    /// LLC misses per kilo-instruction of `core` (the paper's intensity
+    /// classifier: MPKI > 10 → memory intensive).
+    #[must_use]
+    pub fn mpki(&self, core: usize) -> f64 {
+        let insts = self.instructions[core].max(1);
+        self.hierarchy.llc_misses_per_core[core] as f64 * 1000.0 / insts as f64
+    }
+
+    /// DRAM row-buffer hit rate (Fig. 10).
+    #[must_use]
+    pub fn row_hit_rate(&self) -> f64 {
+        self.mc.row_hit_rate()
+    }
+
+    /// In-DRAM cache hit rate (Fig. 9).
+    #[must_use]
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+}
+
+/// Weighted speedup of a multiprogrammed run:
+/// `WS = Σᵢ IPCᵢ^shared / IPCᵢ^alone` (paper Section 7, citing
+/// Snavely & Tullsen). Figures normalize `WS(config) / WS(Base)`.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or an alone-IPC is zero.
+#[must_use]
+pub fn weighted_speedup(shared_ipc: &[f64], alone_ipc: &[f64]) -> f64 {
+    assert_eq!(shared_ipc.len(), alone_ipc.len(), "per-core IPC slices must match");
+    shared_ipc
+        .iter()
+        .zip(alone_ipc)
+        .map(|(&s, &a)| {
+            assert!(a > 0.0, "alone IPC must be positive");
+            s / a
+        })
+        .sum()
+}
+
+/// Geometric mean (used for figure-level averages of speedups).
+///
+/// # Panics
+///
+/// Panics on an empty slice or non-positive values.
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean needs positive values");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weighted_speedup_of_equal_runs_is_core_count() {
+        let ipc = [1.0, 2.0, 0.5];
+        assert!((weighted_speedup(&ipc, &ipc) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_speedup_reflects_slowdown() {
+        let shared = [0.5, 0.5];
+        let alone = [1.0, 1.0];
+        assert!((weighted_speedup(&shared, &alone) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[4.0, 1.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[3.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geomean_rejects_zero() {
+        let _ = geomean(&[0.0]);
+    }
+}

@@ -1,0 +1,124 @@
+//! Plain-text tables for the benchmark harness: every figure prints a
+//! `FigureData` with its measured series next to the paper's reported
+//! values.
+
+use std::fmt::Write as _;
+
+/// One reproduced table/figure: a title, column labels, named rows of
+/// numbers, and free-form notes (paper-vs-measured commentary).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureData {
+    /// e.g. `"Figure 8: eight-core weighted speedup over Base"`.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// `(row label, values)` — one value per column.
+    pub rows: Vec<(String, Vec<f64>)>,
+    /// Notes printed under the table.
+    pub notes: Vec<String>,
+}
+
+impl FigureData {
+    /// Creates an empty figure.
+    #[must_use]
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Self { title: title.into(), columns, rows: Vec::new(), notes: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn push_row(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width must match columns");
+        self.rows.push((label.into(), values));
+    }
+
+    /// Appends a note line.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// The value at (`row_label`, `column_label`), if present.
+    #[must_use]
+    pub fn value(&self, row_label: &str, column_label: &str) -> Option<f64> {
+        let col = self.columns.iter().position(|c| c == column_label)?;
+        let (_, values) = self.rows.iter().find(|(r, _)| r == row_label)?;
+        values.get(col).copied()
+    }
+
+    /// Renders the table with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain([8])
+            .max()
+            .unwrap_or(8);
+        let col_w: Vec<usize> = self.columns.iter().map(|c| c.len().max(9)).collect();
+        let _ = write!(out, "{:label_w$}", "");
+        for (c, w) in self.columns.iter().zip(&col_w) {
+            let _ = write!(out, "  {c:>w$}");
+        }
+        let _ = writeln!(out);
+        for (label, values) in &self.rows {
+            let _ = write!(out, "{label:label_w$}");
+            for (v, w) in values.iter().zip(&col_w) {
+                let _ = write!(out, "  {v:>w$.4}");
+            }
+            let _ = writeln!(out);
+        }
+        for n in &self.notes {
+            let _ = writeln!(out, "  note: {n}");
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for FigureData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FigureData {
+        let mut f = FigureData::new("Figure X", vec!["A".into(), "B".into()]);
+        f.push_row("row1", vec![1.0, 2.0]);
+        f.push_row("row2", vec![0.5, 1.25]);
+        f.push_note("shape holds");
+        f
+    }
+
+    #[test]
+    fn render_contains_everything() {
+        let text = sample().render();
+        assert!(text.contains("Figure X"));
+        assert!(text.contains("row1"));
+        assert!(text.contains("1.2500"));
+        assert!(text.contains("note: shape holds"));
+    }
+
+    #[test]
+    fn value_lookup() {
+        let f = sample();
+        assert_eq!(f.value("row2", "B"), Some(1.25));
+        assert_eq!(f.value("row2", "C"), None);
+        assert_eq!(f.value("rowX", "A"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut f = sample();
+        f.push_row("bad", vec![1.0]);
+    }
+}

@@ -1,0 +1,409 @@
+//! The experiment runner: scales, deterministic trace construction,
+//! alone-IPC measurement for weighted speedup, a file-backed result cache
+//! (so benches that share runs — e.g. Figs. 7/9/10/11 — do not recompute
+//! them), and a small parallel map over independent runs.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use figaro_workloads::{generate_trace, AppProfile, Mix, Trace, TraceOp};
+
+use crate::config::{ConfigKind, SystemConfig};
+use crate::metrics::RunStats;
+use crate::system::System;
+
+/// Simulation scale: instructions per core.
+///
+/// The paper runs ≥1 B instructions per core; these scales trade fidelity
+/// for turnaround. Set the `FIGARO_SCALE` environment variable to
+/// `tiny`/`small`/`full` (default `small`) — EXPERIMENTS.md records which
+/// scale produced its numbers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// 100 k instructions per core — CI/integration tests.
+    Tiny,
+    /// 400 k instructions per core — default for `cargo bench`.
+    Small,
+    /// 2 M instructions per core — overnight-quality numbers.
+    Full,
+}
+
+impl Scale {
+    /// Reads `FIGARO_SCALE` (default [`Scale::Small`]).
+    #[must_use]
+    pub fn from_env() -> Self {
+        match std::env::var("FIGARO_SCALE").unwrap_or_default().to_lowercase().as_str() {
+            "tiny" => Scale::Tiny,
+            "full" => Scale::Full,
+            _ => Scale::Small,
+        }
+    }
+
+    /// Retired instructions each core targets.
+    #[must_use]
+    pub fn target_insts(&self) -> u64 {
+        match self {
+            Scale::Tiny => 100_000,
+            Scale::Small => 400_000,
+            Scale::Full => 2_000_000,
+        }
+    }
+
+    /// Safety bound on simulated CPU cycles.
+    #[must_use]
+    pub fn max_cycles(&self) -> u64 {
+        self.target_insts() * 400
+    }
+
+    /// Label for cache keys and reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Scale::Tiny => "tiny",
+            Scale::Small => "small",
+            Scale::Full => "full",
+        }
+    }
+}
+
+/// The flattened per-run numbers the figures need (cacheable on disk).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Per-core IPC.
+    pub ipc: Vec<f64>,
+    /// Per-core MPKI.
+    pub mpki: Vec<f64>,
+    /// DRAM row-buffer hit rate.
+    pub row_hit_rate: f64,
+    /// In-DRAM cache hit rate.
+    pub cache_hit_rate: f64,
+    /// Energy components `(cpu, l1l2, llc, offchip, dram)` in nJ.
+    pub energy: (f64, f64, f64, f64, f64),
+    /// CPU cycles of the run.
+    pub cpu_cycles: u64,
+    /// RELOC commands issued.
+    pub relocs: u64,
+    /// LISA clones issued.
+    pub lisa_clones: u64,
+    /// Average read latency (bus cycles).
+    pub avg_read_latency: f64,
+    /// Segment/row insertions completed.
+    pub insertions: u64,
+}
+
+impl RunSummary {
+    /// Builds the summary from full run statistics.
+    #[must_use]
+    pub fn from_stats(s: &RunStats) -> Self {
+        let cores = s.instructions.len();
+        Self {
+            ipc: (0..cores).map(|c| s.ipc(c)).collect(),
+            mpki: (0..cores).map(|c| s.mpki(c)).collect(),
+            row_hit_rate: s.row_hit_rate(),
+            cache_hit_rate: s.cache_hit_rate(),
+            energy: (s.energy.cpu, s.energy.l1l2, s.energy.llc, s.energy.offchip, s.energy.dram),
+            cpu_cycles: s.cpu_cycles,
+            relocs: s.dram.relocs,
+            lisa_clones: s.dram.lisa_clones,
+            avg_read_latency: s.mc.avg_read_latency(),
+            insertions: s.cache.insertions,
+        }
+    }
+
+    /// Total energy (nJ).
+    #[must_use]
+    pub fn energy_total(&self) -> f64 {
+        let (a, b, c, d, e) = self.energy;
+        a + b + c + d + e
+    }
+
+    fn to_text(&self) -> String {
+        let vec_join = |v: &[f64]| v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(",");
+        format!(
+            "ipc {}\nmpki {}\nrow_hit_rate {}\ncache_hit_rate {}\nenergy {},{},{},{},{}\ncpu_cycles {}\nrelocs {}\nlisa_clones {}\navg_read_latency {}\ninsertions {}\n",
+            vec_join(&self.ipc),
+            vec_join(&self.mpki),
+            self.row_hit_rate,
+            self.cache_hit_rate,
+            self.energy.0,
+            self.energy.1,
+            self.energy.2,
+            self.energy.3,
+            self.energy.4,
+            self.cpu_cycles,
+            self.relocs,
+            self.lisa_clones,
+            self.avg_read_latency,
+            self.insertions,
+        )
+    }
+
+    fn from_text(text: &str) -> Option<Self> {
+        let mut map = HashMap::new();
+        for line in text.lines() {
+            let (k, v) = line.split_once(' ')?;
+            map.insert(k.to_string(), v.to_string());
+        }
+        let parse_vec = |s: &str| -> Option<Vec<f64>> {
+            s.split(',').map(|x| x.parse::<f64>().ok()).collect()
+        };
+        let e = parse_vec(map.get("energy")?)?;
+        if e.len() != 5 {
+            return None;
+        }
+        Some(Self {
+            ipc: parse_vec(map.get("ipc")?)?,
+            mpki: parse_vec(map.get("mpki")?)?,
+            row_hit_rate: map.get("row_hit_rate")?.parse().ok()?,
+            cache_hit_rate: map.get("cache_hit_rate")?.parse().ok()?,
+            energy: (e[0], e[1], e[2], e[3], e[4]),
+            cpu_cycles: map.get("cpu_cycles")?.parse().ok()?,
+            relocs: map.get("relocs")?.parse().ok()?,
+            lisa_clones: map.get("lisa_clones")?.parse().ok()?,
+            avg_read_latency: map.get("avg_read_latency")?.parse().ok()?,
+            insertions: map.get("insertions")?.parse().ok()?,
+        })
+    }
+}
+
+/// Deterministic per-run trace seed.
+fn seed_for(app: &str, core: usize) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in app.bytes().chain([core as u8]) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// How many trace ops cover `insts` instructions for `profile`.
+fn ops_for(profile: &AppProfile, insts: u64) -> usize {
+    let per_op = profile.nonmem_per_mem + 1.0;
+    ((insts as f64 / per_op) * 1.2) as usize + 4096
+}
+
+/// Effective instruction target for a profile: scaled so every
+/// application performs a comparable number of *memory operations*
+/// (sparse-access applications get proportionally more instructions;
+/// they are cheap to simulate because their IPC is high).
+fn insts_for(profile: &AppProfile, scale: Scale) -> u64 {
+    let base = scale.target_insts();
+    let scaled = (base as f64 * (profile.nonmem_per_mem + 1.0) / 3.0) as u64;
+    scaled.clamp(base, base * 12)
+}
+
+/// The experiment runner.
+#[derive(Debug)]
+pub struct Runner {
+    scale: Scale,
+    cache_dir: Option<PathBuf>,
+}
+
+impl Runner {
+    /// A runner at `scale` with the on-disk result cache enabled.
+    #[must_use]
+    pub fn new(scale: Scale) -> Self {
+        let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .map(|ws| ws.join("target").join("figaro-cache"));
+        Self { scale, cache_dir: dir }
+    }
+
+    /// A runner without the on-disk cache (tests).
+    #[must_use]
+    pub fn uncached(scale: Scale) -> Self {
+        Self { scale, cache_dir: None }
+    }
+
+    /// The runner's scale.
+    #[must_use]
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    fn cached<F: FnOnce() -> RunSummary>(&self, key: &str, run: F) -> RunSummary {
+        let Some(dir) = &self.cache_dir else { return run() };
+        let safe: String =
+            key.chars().map(|c| if c.is_alphanumeric() || c == '-' || c == '.' { c } else { '_' }).collect();
+        let path = dir.join(format!("{safe}.txt"));
+        if let Ok(text) = fs::read_to_string(&path) {
+            if let Some(s) = RunSummary::from_text(&text) {
+                return s;
+            }
+        }
+        let s = run();
+        let _ = fs::create_dir_all(dir);
+        let _ = fs::write(&path, s.to_text());
+        s
+    }
+
+    /// Trace for `profile` on logical core `core`.
+    #[must_use]
+    pub fn trace_for(&self, profile: &AppProfile, core: usize) -> Trace {
+        generate_trace(profile, ops_for(profile, insts_for(profile, self.scale)), seed_for(profile.name, core))
+    }
+
+    /// Runs one application on the single-core system under `kind`.
+    pub fn run_single(&self, profile: &AppProfile, kind: ConfigKind) -> RunSummary {
+        let key = format!("{}-1core-{}-{}", self.scale.label(), profile.name, config_key(&kind));
+        let insts = insts_for(profile, self.scale);
+        let trace = self.trace_for(profile, 0);
+        self.cached(&key, move || {
+            let cfg = SystemConfig::paper(1, kind);
+            let mut sys = System::new(cfg, vec![trace], &[insts]);
+            RunSummary::from_stats(&sys.run(insts * 400))
+        })
+    }
+
+    /// Runs an eight-application mix under `kind`.
+    pub fn run_mix(&self, mix: &Mix, kind: ConfigKind) -> RunSummary {
+        let key = format!("{}-8core-{}-{}", self.scale.label(), mix.name, config_key(&kind));
+        let targets: Vec<u64> = mix.apps.iter().map(|p| insts_for(p, self.scale)).collect();
+        let max_cycles = targets.iter().max().copied().unwrap_or(1) * 400;
+        let traces: Vec<Trace> =
+            mix.apps.iter().enumerate().map(|(i, p)| self.trace_for(p, i)).collect();
+        self.cached(&key, move || {
+            let cfg = SystemConfig::paper(8, kind);
+            let mut sys = System::new(cfg, traces, &targets);
+            RunSummary::from_stats(&sys.run(max_cycles))
+        })
+    }
+
+    /// Runs a multithreaded workload: eight threads of one program sharing
+    /// a footprint (different seeds ⇒ different interleavings of the same
+    /// address space).
+    pub fn run_multithreaded(&self, profile: &AppProfile, kind: ConfigKind) -> RunSummary {
+        let key = format!("{}-8mt-{}-{}", self.scale.label(), profile.name, config_key(&kind));
+        let insts = insts_for(profile, self.scale);
+        let traces: Vec<Trace> = (0..8).map(|i| self.trace_for(profile, i)).collect();
+        self.cached(&key, move || {
+            let cfg = SystemConfig::paper(8, kind);
+            let mut sys = System::new(cfg, traces, &[insts; 8]);
+            RunSummary::from_stats(&sys.run(insts * 400))
+        })
+    }
+
+    /// IPC of `profile` running **alone** on the eight-core Base system
+    /// (the denominator of weighted speedup).
+    pub fn alone_ipc(&self, profile: &AppProfile) -> f64 {
+        let key = format!("{}-alone-{}", self.scale.label(), profile.name);
+        let insts = insts_for(profile, self.scale);
+        let trace = self.trace_for(profile, 0);
+        let summary = self.cached(&key, move || {
+            let cfg = SystemConfig::paper(8, ConfigKind::Base);
+            let mut traces = vec![trace];
+            // Seven idle cores: a pure non-memory trace with a tiny
+            // instruction target retires immediately and never touches
+            // memory.
+            for _ in 1..8 {
+                traces.push(Trace {
+                    name: "idle".into(),
+                    ops: vec![TraceOp { nonmem: 1_000_000, addr: 0, is_write: false }],
+                });
+            }
+            let mut targets = vec![insts];
+            targets.extend([1_000u64; 7]);
+            let mut sys = System::new(cfg, traces, &targets);
+            RunSummary::from_stats(&sys.run(insts * 400))
+        });
+        summary.ipc[0]
+    }
+
+    /// Maps `f` over `0..n` on a couple of worker threads (runs are
+    /// independent; results come back in index order).
+    pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get).min(n.max(1));
+        let next = AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(i);
+                    results.lock().expect("no poisoned lock")[i] = Some(r);
+                });
+            }
+        });
+        results
+            .into_inner()
+            .expect("no poisoned lock")
+            .into_iter()
+            .map(|o| o.expect("every index computed"))
+            .collect()
+    }
+}
+
+fn config_key(kind: &ConfigKind) -> String {
+    match kind {
+        ConfigKind::FigCacheCustom(c) => {
+            format!(
+                "custom-r{}-b{}-{:?}-t{}-{}",
+                c.cache_rows_per_bank,
+                c.blocks_per_segment,
+                c.replacement,
+                c.insertion.miss_threshold,
+                match c.region {
+                    figaro_core::CacheRegion::FastSubarrays => "fast",
+                    figaro_core::CacheRegion::ReservedSlowRows => "slow",
+                }
+            )
+        }
+        other => other.label().to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use figaro_workloads::profile_by_name;
+
+    #[test]
+    fn summary_round_trips_through_text() {
+        let s = RunSummary {
+            ipc: vec![1.5, 0.25],
+            mpki: vec![12.0, 3.0],
+            row_hit_rate: 0.42,
+            cache_hit_rate: 0.3,
+            energy: (1.0, 2.0, 3.0, 4.0, 5.0),
+            cpu_cycles: 1000,
+            relocs: 77,
+            lisa_clones: 0,
+            avg_read_latency: 55.5,
+            insertions: 9,
+        };
+        let t = s.to_text();
+        assert_eq!(RunSummary::from_text(&t), Some(s));
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let v = Runner::parallel_map(10, |i| i * i);
+        assert_eq!(v, vec![0, 1, 4, 9, 16, 25, 36, 49, 64, 81]);
+    }
+
+    #[test]
+    fn seeds_differ_by_core_and_app() {
+        assert_ne!(seed_for("mcf", 0), seed_for("mcf", 1));
+        assert_ne!(seed_for("mcf", 0), seed_for("lbm", 0));
+    }
+
+    #[test]
+    fn tiny_single_run_works_uncached() {
+        let runner = Runner::uncached(Scale::Tiny);
+        let p = profile_by_name("sjeng").unwrap();
+        let s = runner.run_single(&p, ConfigKind::Base);
+        assert!(s.ipc[0] > 0.0);
+        assert!(s.mpki[0] < 10.0, "sjeng must classify non-intensive, mpki {}", s.mpki[0]);
+    }
+}

@@ -1,0 +1,245 @@
+//! The assembled full system and its clock loop.
+
+use std::collections::VecDeque;
+
+use figaro_cpu::{CacheHierarchy, TraceCore};
+use figaro_dram::AddressMapping;
+use figaro_energy::{DramEnergyModel, SystemActivity, SystemEnergyModel};
+use figaro_memctrl::{MemoryController, Request};
+use figaro_workloads::Trace;
+
+use crate::config::SystemConfig;
+use crate::metrics::RunStats;
+
+/// One runnable system: cores + hierarchy + per-channel controllers.
+#[derive(Debug)]
+pub struct System {
+    cfg: SystemConfig,
+    cores: Vec<TraceCore>,
+    hierarchy: CacheHierarchy,
+    mcs: Vec<MemoryController>,
+    mapping: AddressMapping,
+    /// Requests that found a full controller queue, per channel.
+    backlog: Vec<VecDeque<Request>>,
+    cpu_cycle: u64,
+}
+
+impl System {
+    /// Builds a system running one trace per core; core `i` targets
+    /// `targets[i]` retired instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of traces or targets does not match
+    /// `cfg.cores` or the configuration is internally inconsistent.
+    #[must_use]
+    pub fn new(cfg: SystemConfig, traces: Vec<Trace>, targets: &[u64]) -> Self {
+        assert_eq!(traces.len(), cfg.cores, "one trace per core");
+        assert_eq!(targets.len(), cfg.cores, "one instruction target per core");
+        let dram = cfg.dram_config();
+        dram.validate().expect("dram config must validate");
+        let mapping = AddressMapping::new(dram.geometry);
+        let mcs: Vec<MemoryController> = (0..cfg.channels)
+            .map(|ch| MemoryController::new(&dram, cfg.mc, ch, cfg.build_engine(&dram)))
+            .collect();
+        let hierarchy = CacheHierarchy::new(cfg.hierarchy, cfg.cores);
+        let cores: Vec<TraceCore> = traces
+            .into_iter()
+            .zip(targets)
+            .enumerate()
+            .map(|(i, (t, &target))| TraceCore::new(i, cfg.core, t, target))
+            .collect();
+        let channels = cfg.channels as usize;
+        Self {
+            cfg,
+            cores,
+            hierarchy,
+            mcs,
+            mapping,
+            backlog: vec![VecDeque::new(); channels],
+            cpu_cycle: 0,
+        }
+    }
+
+    /// Immutable access to the controllers (stats inspection).
+    #[must_use]
+    pub fn controllers(&self) -> &[MemoryController] {
+        &self.mcs
+    }
+
+    fn route_requests(&mut self, bus: u64) {
+        // New requests from the hierarchy join the per-channel backlog...
+        if self.hierarchy.has_outgoing() {
+            for req in self.hierarchy.take_outgoing() {
+                let ch = self.mapping.decode(req.addr).channel as usize;
+                self.backlog[ch].push_back(req);
+            }
+        }
+        // ...which drains in order while the controller accepts.
+        for (ch, q) in self.backlog.iter_mut().enumerate() {
+            while let Some(front) = q.front() {
+                if self.mcs[ch].can_accept(front.is_write) {
+                    let mut req = q.pop_front().expect("front exists");
+                    req.arrival = bus;
+                    self.mcs[ch].enqueue(req, bus);
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Runs until every core finishes or `max_cpu_cycles` elapse; returns
+    /// the collected statistics.
+    pub fn run(&mut self, max_cpu_cycles: u64) -> RunStats {
+        let per_bus = self.cfg.cpu_cycles_per_bus;
+        let fill_latency = u64::from(self.cfg.hierarchy.fill_latency);
+        while self.cores.iter().any(|c| !c.finished()) && self.cpu_cycle < max_cpu_cycles {
+            let now = self.cpu_cycle;
+            if now % per_bus == 0 {
+                let bus = now / per_bus;
+                self.route_requests(bus);
+                for mc in &mut self.mcs {
+                    mc.tick(bus);
+                }
+                for ch in 0..self.mcs.len() {
+                    let completions = self.mcs[ch].drain_completions();
+                    for c in completions {
+                        let ready_cpu = c.done_at * per_bus + fill_latency;
+                        for token in self.hierarchy.on_completion(c.id) {
+                            self.cores[c.core as usize].wake(token, ready_cpu);
+                        }
+                    }
+                }
+            }
+            for core in &mut self.cores {
+                core.tick(now, &mut self.hierarchy);
+            }
+            self.cpu_cycle += 1;
+        }
+        self.collect()
+    }
+
+    fn collect(&self) -> RunStats {
+        let mut mc = figaro_memctrl::McStats::default();
+        let mut dram = figaro_dram::DramStats::default();
+        let mut cache = figaro_core::CacheStats::default();
+        for m in &self.mcs {
+            mc.merge_from(m.stats());
+            dram.merge_from(m.dram_stats());
+            let e = m.engine_stats();
+            cache.lookups += e.lookups;
+            cache.hits += e.hits;
+            cache.hits_bypassed += e.hits_bypassed;
+            cache.misses += e.misses;
+            cache.uncacheable += e.uncacheable;
+            cache.insertions += e.insertions;
+            cache.insertions_skipped += e.insertions_skipped;
+            cache.insertions_cancelled += e.insertions_cancelled;
+            cache.evictions_clean += e.evictions_clean;
+            cache.evictions_dirty += e.evictions_dirty;
+            cache.blocks_relocated += e.blocks_relocated;
+        }
+        let hierarchy = self.hierarchy.stats();
+        let finish_cycles: Vec<u64> = self
+            .cores
+            .iter()
+            .map(|c| c.finished_at().unwrap_or(self.cpu_cycle))
+            .collect();
+        let instructions: Vec<u64> = self.cores.iter().map(TraceCore::retired).collect();
+        let bus_cycles = self.cpu_cycle / self.cfg.cpu_cycles_per_bus;
+        let dram_energy =
+            DramEnergyModel::ddr4_1600().breakdown(&dram, bus_cycles, u64::from(self.cfg.channels));
+        let activity = SystemActivity {
+            cores: self.cfg.cores as u32,
+            cpu_cycles: self.cpu_cycle,
+            instructions: instructions.iter().sum(),
+            l1_accesses: hierarchy.l1.iter().map(|c| c.accesses).sum(),
+            l2_accesses: hierarchy.l2.iter().map(|c| c.accesses).sum(),
+            llc_accesses: hierarchy.llc.accesses,
+            offchip_bytes: (mc.reads_served + mc.writes_served) * 64,
+            llc_mb: self.cfg.hierarchy.llc.size_bytes as f64 / (1024.0 * 1024.0),
+            dram: dram_energy,
+        };
+        let energy = SystemEnergyModel::paper_default().breakdown(&activity);
+        RunStats {
+            cpu_cycles: self.cpu_cycle,
+            finish_cycles,
+            instructions,
+            cores: self.cores.iter().map(TraceCore::stats).collect(),
+            mc,
+            dram,
+            cache,
+            hierarchy,
+            energy,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ConfigKind;
+    use figaro_workloads::{generate_trace, profile_by_name};
+
+    fn run_one(kind: ConfigKind) -> RunStats {
+        let profile = profile_by_name("mcf").unwrap();
+        let trace = generate_trace(&profile, 30_000, 42);
+        let cfg = SystemConfig::paper(1, kind);
+        let mut sys = System::new(cfg, vec![trace], &[60_000]);
+        sys.run(60_000_000)
+    }
+
+    #[test]
+    fn base_system_completes_and_reports() {
+        let s = run_one(ConfigKind::Base);
+        assert_eq!(s.instructions[0], 60_000);
+        assert!(s.ipc(0) > 0.01 && s.ipc(0) < 3.0, "ipc {}", s.ipc(0));
+        assert!(s.dram.reads > 0);
+        assert!(s.mc.row_hits + s.mc.row_misses + s.mc.row_conflicts > 0);
+        assert!(s.energy.total() > 0.0);
+    }
+
+    #[test]
+    fn figcache_fast_relocates_and_hits() {
+        let s = run_one(ConfigKind::FigCacheFast);
+        assert!(s.dram.relocs > 0, "FIGCache must issue RELOCs");
+        assert!(s.cache.hits > 0, "FIGCache should get cache hits");
+    }
+
+    #[test]
+    fn lisa_villa_clones_rows() {
+        let s = run_one(ConfigKind::LisaVilla);
+        assert!(s.dram.lisa_clones > 0);
+    }
+
+    #[test]
+    fn ideal_figcache_issues_no_relocs() {
+        let s = run_one(ConfigKind::FigCacheIdeal);
+        assert_eq!(s.dram.relocs, 0);
+        assert!(s.cache.hits > 0);
+    }
+
+    #[test]
+    fn mcf_is_memory_intensive_on_this_hierarchy() {
+        let s = run_one(ConfigKind::Base);
+        assert!(s.mpki(0) > 10.0, "mcf MPKI = {}", s.mpki(0));
+    }
+
+    #[test]
+    fn eight_core_system_runs() {
+        let apps: Vec<_> = ["mcf", "lbm", "zeusmp", "libquantum", "gcc", "sjeng", "grep", "bzip2"]
+            .iter()
+            .map(|n| profile_by_name(n).unwrap())
+            .collect();
+        let traces: Vec<Trace> =
+            apps.iter().enumerate().map(|(i, p)| generate_trace(p, 8_000, 100 + i as u64)).collect();
+        let cfg = SystemConfig::paper(8, ConfigKind::FigCacheFast);
+        let mut sys = System::new(cfg, traces, &[15_000; 8]);
+        let s = sys.run(50_000_000);
+        for core in 0..8 {
+            assert_eq!(s.instructions[core], 15_000, "core {core} must finish");
+        }
+        assert!(s.dram.relocs > 0);
+    }
+}

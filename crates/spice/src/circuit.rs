@@ -1,0 +1,190 @@
+//! The RC + sense-amplifier transient model of one `RELOC` transfer.
+
+/// Circuit parameters of the RELOC path (22 nm-class values).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelocCircuit {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// Local bitline capacitance (fF) — source and destination.
+    pub c_local_ff: f64,
+    /// Global bitline capacitance (fF), at the full bank length.
+    pub c_global_ff: f64,
+    /// Global bitline resistance per subarray slot (Ω) — metal, so small.
+    pub r_global_per_slot: f64,
+    /// Fixed resistance of the GRB drive path (Ω).
+    pub r_drive: f64,
+    /// GRB amplifier transconductance-equivalent drive (mA/V): how hard
+    /// the high-gain amplifier pulls the destination toward the source
+    /// value once it senses the perturbation.
+    pub grb_drive_ma_per_v: f64,
+    /// Destination sense-amp regeneration time constant (ps) once its
+    /// differential exceeds `sense_threshold_v`.
+    pub regen_tau_ps: f64,
+    /// Differential (V) at which the destination latch starts
+    /// regenerating.
+    pub sense_threshold_v: f64,
+    /// Settled fraction of VDD that counts as "latched".
+    pub settle_fraction: f64,
+    /// Number of subarray slots along the bank (global bitline length).
+    pub bank_slots: u32,
+}
+
+impl RelocCircuit {
+    /// Default parameters, calibrated so the worst case (maximum
+    /// distance, worst Monte-Carlo corner) lands at the paper's 0.57 ns.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self {
+            vdd: 1.2,
+            c_local_ff: 85.0,
+            c_global_ff: 45.0,
+            r_global_per_slot: 50.0,
+            r_drive: 10_000.0,
+            grb_drive_ma_per_v: 0.06,
+            regen_tau_ps: 90.0,
+            sense_threshold_v: 0.15,
+            settle_fraction: 0.95,
+            bank_slots: 66, // 64 regular + 2 fast subarrays
+        }
+    }
+
+    /// Simulates one transfer of a logic `1` across `distance_slots`
+    /// subarray slots. Euler integration at 0.1 ps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination fails to settle within 10 ns — a
+    /// mis-calibrated circuit, which callers should treat as a bug.
+    #[must_use]
+    pub fn simulate(&self, distance_slots: u32) -> Transient {
+        let dt = 0.1e-12; // s
+        let vdd = self.vdd;
+        let c_src = self.c_local_ff * 1e-15;
+        let c_dst = (self.c_local_ff + self.c_global_ff) * 1e-15;
+        let r_path = self.r_drive + self.r_global_per_slot * f64::from(distance_slots.max(1));
+        let g_drive = self.grb_drive_ma_per_v * 1e-3;
+        let half = vdd / 2.0;
+
+        let mut v_src = vdd; // fully restored source bitline
+        let mut v_dst = half; // precharged destination
+        let mut min_src = v_src;
+        let mut t = 0.0f64;
+        let target = vdd * self.settle_fraction;
+        while v_dst < target {
+            // Charge sharing through the global bitline path.
+            let i_share = (v_src - v_dst) / r_path;
+            // GRB high-gain assist: pushes dst toward VDD proportionally to
+            // the sensed perturbation (bounded drive).
+            let sensed = (v_dst - half).max(0.0);
+            let i_grb = g_drive * (vdd - v_dst) * if sensed > 0.0 { 1.0 } else { 0.5 };
+            // Destination SA regeneration past the threshold.
+            let regen = if sensed > self.sense_threshold_v {
+                (v_dst - half) / (self.regen_tau_ps * 1e-12)
+            } else {
+                0.0
+            };
+            let dv_dst = (i_share + i_grb) / c_dst + regen;
+            // Source dips while sharing charge, then its SA restores it.
+            let restore = (vdd - v_src) / (self.regen_tau_ps * 4.0 * 1e-12);
+            let dv_src = -i_share / c_src + restore;
+            v_dst = (v_dst + dv_dst * dt).min(vdd);
+            v_src = (v_src + dv_src * dt).min(vdd);
+            min_src = min_src.min(v_src);
+            t += dt;
+            assert!(t < 10e-9, "RELOC transient failed to settle (mis-calibrated circuit)");
+        }
+        Transient { latency_ns: t * 1e9, src_dip_v: vdd - min_src, final_dst_v: v_dst }
+    }
+}
+
+impl Default for RelocCircuit {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Result of one transient simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Transient {
+    /// Time for the destination LRB to latch the value (ns).
+    pub latency_ns: f64,
+    /// Momentary source-bitline dip during charge sharing (V),
+    /// cf. the paper's Fig. 5.
+    pub src_dip_v: f64,
+    /// Final destination voltage (V).
+    pub final_dst_v: f64,
+}
+
+/// Latency versus subarray distance for FIGARO (global bitline) and for a
+/// hop-based substrate (LISA-style, `hop_ns` per intermediate subarray).
+/// Returns `(distance, figaro_ns, hop_based_ns)` rows.
+#[must_use]
+pub fn distance_sweep(circuit: &RelocCircuit, hop_ns: f64) -> Vec<(u32, f64, f64)> {
+    (1..=circuit.bank_slots)
+        .step_by(8)
+        .map(|d| {
+            let t = circuit.simulate(d);
+            (d, t.latency_ns, hop_ns * f64::from(d))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nominal_worst_case_is_near_half_nanosecond() {
+        let c = RelocCircuit::paper_default();
+        let t = c.simulate(c.bank_slots);
+        assert!(
+            t.latency_ns > 0.3 && t.latency_ns < 0.6,
+            "nominal worst-distance latency = {} ns",
+            t.latency_ns
+        );
+    }
+
+    #[test]
+    fn destination_settles_to_vdd() {
+        let c = RelocCircuit::paper_default();
+        let t = c.simulate(10);
+        assert!(t.final_dst_v >= c.vdd * c.settle_fraction);
+    }
+
+    #[test]
+    fn source_dips_but_does_not_collapse() {
+        let c = RelocCircuit::paper_default();
+        let t = c.simulate(c.bank_slots);
+        assert!(t.src_dip_v > 0.0, "charge sharing must dip the source");
+        assert!(t.src_dip_v < c.vdd / 2.0, "source must stay above the sensing point");
+    }
+
+    #[test]
+    fn distance_dependence_is_weak() {
+        // The paper's argument: global bitlines are metal, so RELOC latency
+        // barely grows with distance (unlike hop-based relocation).
+        let c = RelocCircuit::paper_default();
+        let near = c.simulate(1).latency_ns;
+        let far = c.simulate(c.bank_slots).latency_ns;
+        assert!(far >= near);
+        assert!(far / near < 1.6, "distance sensitivity too strong: {near} -> {far}");
+    }
+
+    #[test]
+    fn sweep_shows_figaro_flat_and_hops_linear() {
+        let c = RelocCircuit::paper_default();
+        let rows = distance_sweep(&c, 5.0);
+        let (d0, f0, h0) = rows[0];
+        let (d1, f1, h1) = *rows.last().unwrap();
+        assert!(d1 > d0);
+        assert!(h1 / h0 > 6.0, "hop-based latency grows linearly");
+        assert!(f1 / f0 < 1.6, "FIGARO latency stays near-flat");
+    }
+
+    #[test]
+    fn longer_bitline_raises_latency() {
+        let base = RelocCircuit::paper_default();
+        let heavy = RelocCircuit { c_global_ff: base.c_global_ff * 2.0, ..base };
+        assert!(heavy.simulate(32).latency_ns > base.simulate(32).latency_ns);
+    }
+}

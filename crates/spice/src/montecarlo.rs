@@ -1,0 +1,120 @@
+//! Monte-Carlo parameter variation around the nominal RELOC circuit.
+//!
+//! The paper runs 10⁸ SPICE iterations with ±5% on every component to
+//! cover process variation and worst-case cells, takes the worst-case
+//! latency (0.57 ns), and adds a 43% guardband to set the `RELOC` timing
+//! parameter at 1 ns. The same procedure runs here (with a configurable
+//! iteration count — the model is analytic, so far fewer samples reach the
+//! tail).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::circuit::RelocCircuit;
+
+/// Outcome of a Monte-Carlo sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MonteCarloResult {
+    /// Iterations run.
+    pub iterations: u32,
+    /// Worst-case latency over all iterations (ns).
+    pub worst_ns: f64,
+    /// Mean latency (ns).
+    pub mean_ns: f64,
+    /// All iterations latched the correct value.
+    pub all_correct: bool,
+    /// Worst latency plus the paper's 43% guardband (ns).
+    pub guardbanded_ns: f64,
+}
+
+/// Runs `iterations` samples at worst-case distance, perturbing every
+/// parameter uniformly by ±`variation` (the paper: 0.05).
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero or `variation` is not in `[0, 0.5)`.
+#[must_use]
+pub fn run_monte_carlo(
+    nominal: &RelocCircuit,
+    iterations: u32,
+    variation: f64,
+    seed: u64,
+) -> MonteCarloResult {
+    assert!(iterations > 0, "need at least one iteration");
+    assert!((0.0..0.5).contains(&variation), "variation out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut worst: f64 = 0.0;
+    let mut sum = 0.0;
+    let mut all_correct = true;
+    for _ in 0..iterations {
+        let mut p = |v: f64| v * (1.0 + rng.gen_range(-variation..=variation));
+        let c = RelocCircuit {
+            vdd: p(nominal.vdd),
+            c_local_ff: p(nominal.c_local_ff),
+            c_global_ff: p(nominal.c_global_ff),
+            r_global_per_slot: p(nominal.r_global_per_slot),
+            r_drive: p(nominal.r_drive),
+            grb_drive_ma_per_v: p(nominal.grb_drive_ma_per_v),
+            regen_tau_ps: p(nominal.regen_tau_ps),
+            sense_threshold_v: p(nominal.sense_threshold_v),
+            settle_fraction: nominal.settle_fraction,
+            bank_slots: nominal.bank_slots,
+        };
+        let t = c.simulate(c.bank_slots);
+        worst = worst.max(t.latency_ns);
+        sum += t.latency_ns;
+        all_correct &= t.final_dst_v >= c.vdd * c.settle_fraction;
+    }
+    MonteCarloResult {
+        iterations,
+        worst_ns: worst,
+        mean_ns: sum / f64::from(iterations),
+        all_correct,
+        guardbanded_ns: worst * 1.43,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worst_case_lands_near_paper_value() {
+        let r = run_monte_carlo(&RelocCircuit::paper_default(), 400, 0.05, 1);
+        assert!(r.all_correct);
+        assert!(
+            r.worst_ns > 0.4 && r.worst_ns < 0.7,
+            "worst-case RELOC latency {} ns (paper: 0.57 ns)",
+            r.worst_ns
+        );
+        assert!(r.guardbanded_ns < 1.25, "guardbanded {} ns (paper: 1 ns)", r.guardbanded_ns);
+    }
+
+    #[test]
+    fn worst_exceeds_mean() {
+        let r = run_monte_carlo(&RelocCircuit::paper_default(), 200, 0.05, 2);
+        assert!(r.worst_ns >= r.mean_ns);
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let a = run_monte_carlo(&RelocCircuit::paper_default(), 50, 0.05, 3);
+        let b = run_monte_carlo(&RelocCircuit::paper_default(), 50, 0.05, 3);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_variation_collapses_to_nominal() {
+        let nominal = RelocCircuit::paper_default();
+        let r = run_monte_carlo(&nominal, 5, 0.0, 4);
+        let t = nominal.simulate(nominal.bank_slots);
+        assert!((r.worst_ns - t.latency_ns).abs() < 1e-9);
+        assert!((r.mean_ns - t.latency_ns).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one iteration")]
+    fn zero_iterations_panic() {
+        let _ = run_monte_carlo(&RelocCircuit::paper_default(), 0, 0.05, 5);
+    }
+}

@@ -1,0 +1,135 @@
+//! The paper's twenty eight-core multiprogrammed mixes, grouped by the
+//! fraction of memory-intensive applications (25%, 50%, 75%, 100%).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::apps::{app_profiles, AppProfile};
+
+/// Memory-intensity category of a mix (paper Section 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MixCategory {
+    /// 2 of 8 applications memory-intensive.
+    Intensive25,
+    /// 4 of 8.
+    Intensive50,
+    /// 6 of 8.
+    Intensive75,
+    /// 8 of 8.
+    Intensive100,
+}
+
+impl MixCategory {
+    /// All categories in paper order.
+    #[must_use]
+    pub fn all() -> [MixCategory; 4] {
+        [Self::Intensive25, Self::Intensive50, Self::Intensive75, Self::Intensive100]
+    }
+
+    /// Number of memory-intensive applications out of eight.
+    #[must_use]
+    pub fn intensive_count(&self) -> usize {
+        match self {
+            Self::Intensive25 => 2,
+            Self::Intensive50 => 4,
+            Self::Intensive75 => 6,
+            Self::Intensive100 => 8,
+        }
+    }
+
+    /// Display label matching the paper's figures.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Intensive25 => "25%",
+            Self::Intensive50 => "50%",
+            Self::Intensive75 => "75%",
+            Self::Intensive100 => "100%",
+        }
+    }
+}
+
+/// One eight-application multiprogrammed workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mix {
+    /// Mix name, e.g. `mix50-2`.
+    pub name: String,
+    /// Intensity category.
+    pub category: MixCategory,
+    /// The eight applications, one per core.
+    pub apps: Vec<AppProfile>,
+}
+
+/// Builds the paper's twenty mixes: five per category, drawn
+/// deterministically from the Table 2 applications.
+#[must_use]
+pub fn eight_core_mixes() -> Vec<Mix> {
+    let apps = app_profiles();
+    let intensive: Vec<&AppProfile> = apps.iter().filter(|a| a.memory_intensive).collect();
+    let light: Vec<&AppProfile> = apps.iter().filter(|a| !a.memory_intensive).collect();
+    let mut mixes = Vec::with_capacity(20);
+    let mut rng = StdRng::seed_from_u64(0x00F1_6CA0);
+    for category in MixCategory::all() {
+        let n_int = category.intensive_count();
+        for i in 0..5 {
+            let mut chosen: Vec<AppProfile> = Vec::with_capacity(8);
+            // Sample with replacement only if the class is exhausted.
+            let mut int_pool: Vec<&AppProfile> = intensive.clone();
+            let mut light_pool: Vec<&AppProfile> = light.clone();
+            int_pool.shuffle(&mut rng);
+            light_pool.shuffle(&mut rng);
+            for k in 0..n_int {
+                chosen.push(*int_pool[k % int_pool.len()]);
+            }
+            for k in 0..(8 - n_int) {
+                chosen.push(*light_pool[k % light_pool.len()]);
+            }
+            chosen.shuffle(&mut rng);
+            mixes.push(Mix {
+                name: format!("mix{}-{}", category.label().trim_end_matches('%'), i + 1),
+                category,
+                apps: chosen,
+            });
+        }
+    }
+    mixes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twenty_mixes_five_per_category() {
+        let mixes = eight_core_mixes();
+        assert_eq!(mixes.len(), 20);
+        for cat in MixCategory::all() {
+            assert_eq!(mixes.iter().filter(|m| m.category == cat).count(), 5);
+        }
+    }
+
+    #[test]
+    fn mixes_have_the_declared_intensity() {
+        for m in eight_core_mixes() {
+            assert_eq!(m.apps.len(), 8);
+            let n_int = m.apps.iter().filter(|a| a.memory_intensive).count();
+            assert_eq!(n_int, m.category.intensive_count(), "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn mixes_are_deterministic() {
+        let a = eight_core_mixes();
+        let b = eight_core_mixes();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<String> = eight_core_mixes().into_iter().map(|m| m.name).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 20);
+    }
+}

@@ -1,0 +1,87 @@
+//! RowHammer mitigation (paper Section 6).
+//!
+//! A double-sided hammer alternates reads between two rows of one bank,
+//! forcing the baseline to open and close the aggressor rows at maximum
+//! rate — which is what flips bits in their physical neighbours. With
+//! FIGCache, the two hot segments are relocated into a single in-DRAM
+//! cache row after the first misses; subsequent accesses stop activating
+//! the aggressor rows entirely.
+//!
+//! Run with
+//! `cargo run -p figaro-examples --bin rowhammer_mitigation --release`.
+
+use figaro_core::{FigCacheConfig, FigCacheEngine, NullEngine};
+use figaro_dram::{DramConfig, PhysAddr, SubarrayLayout};
+use figaro_memctrl::{McConfig, MemoryController, Request};
+
+/// Feeds `rounds` alternating-row reads into `mc` and reports
+/// (max per-row activations within the window, total activations).
+fn hammer(mut mc: MemoryController, rounds: u64) -> (u32, u64) {
+    let row_stride = 128 * 64 * 16u64; // next row of the same bank
+    let (mut now, mut id, mut issued) = (0u64, 0u64, 0u64);
+    while issued < rounds * 2 {
+        if mc.can_accept(false) {
+            let aggressor = issued % 2;
+            let col = (issued / 2) % 16; // fresh block each time (clflush attacker)
+            mc.enqueue(
+                Request {
+                    id,
+                    addr: PhysAddr(aggressor * row_stride + col * 64),
+                    is_write: false,
+                    core: 0,
+                    arrival: now,
+                },
+                now,
+            );
+            id += 1;
+            issued += 1;
+        }
+        mc.tick(now);
+        let _ = mc.drain_completions();
+        now += 1;
+    }
+    while !mc.is_idle() && now < 10_000_000 {
+        mc.tick(now);
+        let _ = mc.drain_completions();
+        now += 1;
+    }
+    let monitor = mc.activation_monitor().expect("monitor enabled");
+    (monitor.max_acts_per_window(), monitor.total_acts())
+}
+
+fn main() {
+    let rounds = 30_000u64;
+    let mc_cfg = McConfig {
+        enable_refresh: false,
+        activation_window: Some(2_000_000),
+        ..McConfig::default()
+    };
+
+    let base = MemoryController::new(
+        &DramConfig::ddr4_paper_default(),
+        mc_cfg,
+        0,
+        Box::new(NullEngine::new()),
+    );
+    let (base_max, base_total) = hammer(base, rounds);
+
+    let fig_dram = DramConfig {
+        layout: SubarrayLayout::homogeneous(64, 512).with_appended_fast(2, 32),
+        ..DramConfig::ddr4_paper_default()
+    };
+    let engine = FigCacheEngine::new(&fig_dram, &FigCacheConfig::paper_fast(), 16);
+    let fig = MemoryController::new(&fig_dram, mc_cfg, 0, Box::new(engine));
+    let (fig_max, fig_total) = hammer(fig, rounds);
+
+    println!("double-sided hammer, {} reads alternating two rows of one bank\n", rounds * 2);
+    println!("Base     : hottest row sees {base_max:>6} ACTs in the window (total {base_total})");
+    println!("FIGCache : hottest row sees {fig_max:>6} ACTs in the window (total {fig_total})");
+    println!(
+        "\nactivation-pressure reduction: {:.0}x — below typical RowHammer\n\
+         thresholds the attack no longer reaches its victim rows\n\
+         (paper Sec. 6: co-locating hammered segments in one cache row\n\
+         eliminates the repeated open/close cycling).",
+        f64::from(base_max) / f64::from(fig_max.max(1))
+    );
+    assert!(fig_max < base_max / 4, "FIGCache must collapse the activation storm");
+}

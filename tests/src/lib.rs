@@ -1,0 +1,2 @@
+//! Integration-test crate for the FIGARO workspace. The library is empty;
+//! all content lives in `tests/` as cross-crate integration tests.

@@ -1,0 +1,143 @@
+//! Cross-crate integration tests: full systems, paper-shape assertions.
+//!
+//! These run at the `small` scale (the bench default): the paper-shape
+//! orderings they assert need cache warmup that the tiny scale does not
+//! provide. The suite takes a couple of minutes on a laptop.
+
+use figaro_sim::runner::Scale;
+use figaro_sim::{ConfigKind, Runner};
+use figaro_workloads::{eight_core_mixes, profile_by_name, MixCategory};
+
+fn runner() -> Runner {
+    Runner::uncached(Scale::Small)
+}
+
+#[test]
+fn figcache_fast_beats_base_on_memory_intensive_apps() {
+    let r = runner();
+    for name in ["mcf", "GemsFDTD"] {
+        let p = profile_by_name(name).unwrap();
+        let base = r.run_single(&p, ConfigKind::Base);
+        let fig = r.run_single(&p, ConfigKind::FigCacheFast);
+        assert!(
+            fig.ipc[0] > base.ipc[0] * 1.02,
+            "{name}: FIGCache-Fast {:.4} must clearly beat Base {:.4}",
+            fig.ipc[0],
+            base.ipc[0]
+        );
+    }
+}
+
+#[test]
+fn ideal_relocation_bounds_real_relocation() {
+    let r = runner();
+    let p = profile_by_name("mcf").unwrap();
+    let fast = r.run_single(&p, ConfigKind::FigCacheFast);
+    let ideal = r.run_single(&p, ConfigKind::FigCacheIdeal);
+    assert!(
+        ideal.ipc[0] >= fast.ipc[0] * 0.99,
+        "Ideal ({:.4}) must not lose to real relocation ({:.4})",
+        ideal.ipc[0],
+        fast.ipc[0]
+    );
+}
+
+#[test]
+fn figcache_fast_beats_lisa_villa_on_intensive_apps() {
+    let r = runner();
+    let p = profile_by_name("GemsFDTD").unwrap();
+    let lisa = r.run_single(&p, ConfigKind::LisaVilla);
+    let fig = r.run_single(&p, ConfigKind::FigCacheFast);
+    assert!(
+        fig.ipc[0] > lisa.ipc[0],
+        "paper Sec 8.1: FIGCache-Fast ({:.4}) outperforms LISA-VILLA ({:.4})",
+        fig.ipc[0],
+        lisa.ipc[0]
+    );
+}
+
+#[test]
+fn figcache_raises_row_buffer_hit_rate() {
+    // Paper Fig. 10: the defining effect of segment co-location.
+    let r = runner();
+    let p = profile_by_name("mcf").unwrap();
+    let base = r.run_single(&p, ConfigKind::Base);
+    let fig = r.run_single(&p, ConfigKind::FigCacheFast);
+    assert!(
+        fig.row_hit_rate > base.row_hit_rate + 0.03,
+        "row hit rate must rise: base {:.3} -> fig {:.3}",
+        base.row_hit_rate,
+        fig.row_hit_rate
+    );
+}
+
+#[test]
+fn lisa_villa_does_not_change_row_hit_rate_much() {
+    // Paper Sec 8.1: whole-row caching cannot improve row locality.
+    let r = runner();
+    let p = profile_by_name("mcf").unwrap();
+    let base = r.run_single(&p, ConfigKind::Base);
+    let lisa = r.run_single(&p, ConfigKind::LisaVilla);
+    assert!(
+        (lisa.row_hit_rate - base.row_hit_rate).abs() < 0.08,
+        "LISA-VILLA row hit rate {:.3} should track Base {:.3}",
+        lisa.row_hit_rate,
+        base.row_hit_rate
+    );
+}
+
+#[test]
+fn intensity_classification_matches_table2() {
+    let r = runner();
+    for p in figaro_workloads::app_profiles() {
+        let s = r.run_single(&p, ConfigKind::Base);
+        assert_eq!(
+            s.mpki[0] > 10.0,
+            p.memory_intensive,
+            "{}: measured MPKI {:.1} contradicts Table 2 class",
+            p.name,
+            s.mpki[0]
+        );
+    }
+}
+
+#[test]
+fn eight_core_mix_runs_and_figcache_wins_at_high_intensity() {
+    let r = runner();
+    let mixes = eight_core_mixes();
+    let mix = mixes.iter().find(|m| m.category == MixCategory::Intensive100).unwrap();
+    let base = r.run_mix(mix, ConfigKind::Base);
+    let fig = r.run_mix(mix, ConfigKind::FigCacheFast);
+    let alone: Vec<f64> = mix.apps.iter().map(|p| r.alone_ipc(p)).collect();
+    let ws_base = figaro_sim::metrics::weighted_speedup(&base.ipc, &alone);
+    let ws_fig = figaro_sim::metrics::weighted_speedup(&fig.ipc, &alone);
+    assert!(
+        ws_fig > ws_base * 1.03,
+        "100%-intensive mix: FIGCache WS {ws_fig:.3} must beat Base WS {ws_base:.3}"
+    );
+}
+
+#[test]
+fn energy_breakdown_is_consistent() {
+    let r = runner();
+    let p = profile_by_name("lbm").unwrap();
+    let base = r.run_single(&p, ConfigKind::Base);
+    let fig = r.run_single(&p, ConfigKind::FigCacheFast);
+    assert!(base.energy_total() > 0.0);
+    // Faster run + fewer ACT/PRE => FIGCache must not burn more energy.
+    assert!(
+        fig.energy_total() < base.energy_total() * 1.05,
+        "fig energy {:.2e} vs base {:.2e}",
+        fig.energy_total(),
+        base.energy_total()
+    );
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let r = runner();
+    let p = profile_by_name("grep").unwrap();
+    let a = r.run_single(&p, ConfigKind::FigCacheFast);
+    let b = r.run_single(&p, ConfigKind::FigCacheFast);
+    assert_eq!(a, b, "identical runs must be bit-identical");
+}
