@@ -3,11 +3,11 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
+use figaro_core::NullEngine;
 use figaro_core::{CacheEngine, FigCacheConfig, FigCacheEngine};
+use figaro_dram::PhysAddr;
 use figaro_dram::{BankAddr, DramChannel, DramCommand, DramConfig, SubarrayLayout};
 use figaro_memctrl::{McConfig, MemoryController, Request};
-use figaro_core::NullEngine;
-use figaro_dram::PhysAddr;
 use figaro_spice::RelocCircuit;
 use figaro_workloads::{profile_by_name, TraceGenerator};
 

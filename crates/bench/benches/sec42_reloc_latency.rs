@@ -10,10 +10,8 @@ use figaro_spice::{distance_sweep, run_monte_carlo, RelocCircuit};
 fn main() {
     println!("--- Section 4.2: RELOC latency and energy ---");
     let circuit = RelocCircuit::paper_default();
-    let iterations: u32 = std::env::var("FIGARO_MC_ITERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(20_000);
+    let iterations: u32 =
+        std::env::var("FIGARO_MC_ITERS").ok().and_then(|v| v.parse().ok()).unwrap_or(20_000);
     let mc = run_monte_carlo(&circuit, iterations, 0.05, 0xF16A);
     println!("Monte-Carlo iterations          : {}", mc.iterations);
     println!("all iterations latched correctly: {}", mc.all_correct);

@@ -19,8 +19,8 @@ fn hammer(mut mc: MemoryController, rounds: u64) -> (u32, u64) {
     while issued < rounds * 2 {
         if mc.can_accept(false) {
             let aggressor = issued % 2; // rows 0 and 1 of bank 0
-            // Walk the 16 columns of segment 0 so every access is a fresh
-            // block (a cache-line-flush-based attacker).
+                                        // Walk the 16 columns of segment 0 so every access is a fresh
+                                        // block (a cache-line-flush-based attacker).
             let col = (issued / 2) % 16;
             let addr = aggressor * row_stride + col * 64;
             mc.enqueue(

@@ -186,7 +186,10 @@ impl FigCacheEngine {
                         dst_subarray,
                         blocks,
                     );
-                    state.in_flight.insert(id, InFlight { purpose: JobPurpose::Writeback, slot: None, blocks });
+                    state.in_flight.insert(
+                        id,
+                        InFlight { purpose: JobPurpose::Writeback, slot: None, blocks },
+                    );
                     state.pending.push_back(job);
                 } else {
                     self.stats.blocks_relocated += u64::from(blocks);
@@ -218,7 +221,9 @@ impl FigCacheEngine {
             dst_subarray,
             blocks,
         );
-        state.in_flight.insert(id, InFlight { purpose: JobPurpose::Insert, slot: Some(alloc.slot), blocks });
+        state
+            .in_flight
+            .insert(id, InFlight { purpose: JobPurpose::Insert, slot: Some(alloc.slot), blocks });
         state.pending.push_back(job);
     }
 }
@@ -510,6 +515,53 @@ mod tests {
         assert!(!e.has_pending_job(0));
         e.on_request(0, 100, 0, false, None, 2);
         assert!(e.has_pending_job(0), "third miss crosses the threshold");
+    }
+
+    #[test]
+    fn fig15_threshold_one_is_insert_any_miss() {
+        let dram = fast_dram();
+        let cfg = FigCacheConfig::paper_fast();
+        assert_eq!(cfg.insertion.miss_threshold, 1, "paper default");
+        let mut e = FigCacheEngine::new(&dram, &cfg, 16);
+        e.on_request(0, 100, 0, false, None, 0);
+        assert!(e.has_pending_job(0), "threshold 1 inserts on the first miss");
+    }
+
+    #[test]
+    fn fig15_threshold_boundary_holds_across_sweep() {
+        // Fig. 15 sweeps thresholds 1/2/4/8: exactly the Nth miss of a
+        // segment triggers its insertion, never the (N-1)th.
+        for threshold in [2u32, 4, 8] {
+            let dram = fast_dram();
+            let mut cfg = FigCacheConfig::paper_fast();
+            cfg.insertion.miss_threshold = threshold;
+            let mut e = FigCacheEngine::new(&dram, &cfg, 16);
+            for miss in 0..threshold - 1 {
+                e.on_request(0, 100, 0, false, None, u64::from(miss));
+                assert!(
+                    !e.has_pending_job(0),
+                    "threshold {threshold}: miss {} must not insert yet",
+                    miss + 1
+                );
+            }
+            e.on_request(0, 100, 0, false, None, u64::from(threshold));
+            assert!(e.has_pending_job(0), "threshold {threshold}: Nth miss inserts");
+        }
+    }
+
+    #[test]
+    fn fig15_miss_counters_are_per_segment() {
+        let dram = fast_dram();
+        let mut cfg = FigCacheConfig::paper_fast();
+        cfg.insertion.miss_threshold = 2;
+        let mut e = FigCacheEngine::new(&dram, &cfg, 16);
+        // First misses of two different segments: neither reaches 2.
+        e.on_request(0, 100, 0, false, None, 0);
+        e.on_request(0, 200, 0, false, None, 1);
+        assert!(!e.has_pending_job(0), "counts must not be shared across segments");
+        // Second miss of the first segment crosses its own threshold.
+        e.on_request(0, 100, 0, false, None, 2);
+        assert!(e.has_pending_job(0));
     }
 
     #[test]

@@ -217,8 +217,13 @@ impl FtsBank {
             self.map.remove(&vseg);
             (slot, Some(Victim { seg: vseg, dirty: v.dirty, slot }))
         };
-        self.slots[slot as usize] =
-            Slot { seg: Some(seg), state: SlotState::Relocating { cancelled: false }, dirty: false, benefit: 0, last_use: now };
+        self.slots[slot as usize] = Slot {
+            seg: Some(seg),
+            state: SlotState::Relocating { cancelled: false },
+            dirty: false,
+            benefit: 0,
+            last_use: now,
+        };
         self.map.insert(seg, slot);
         Some(Allocation { slot, victim })
     }
@@ -302,7 +307,7 @@ impl FtsBank {
                 if relocating || valid == 0 {
                     continue;
                 }
-                if best.map_or(true, |(bs, _)| sum < bs) {
+                if best.is_none_or(|(bs, _)| sum < bs) {
                     best = Some((sum, row));
                 }
             }
@@ -335,7 +340,12 @@ mod tests {
     }
 
     /// Allocates and immediately validates a segment.
-    fn fill(fts: &mut FtsBank, s: SegmentId, policy: ReplacementPolicy, rng: &mut StdRng) -> Allocation {
+    fn fill(
+        fts: &mut FtsBank,
+        s: SegmentId,
+        policy: ReplacementPolicy,
+        rng: &mut StdRng,
+    ) -> Allocation {
         let a = fts.allocate(s, policy, rng, 0).expect("allocation must succeed");
         fts.complete_relocation(a.slot);
         a
@@ -507,13 +517,133 @@ mod tests {
         let (_, mask_before) = fts.eviction_state();
         assert_ne!(mask_before, 0);
         // Releasing the still-marked slot clears its bit.
-        let marked_slot = (0..2).find(|&i| mask_before & (1 << fts.pos_in_row(i)) != 0 && fts.slot(i).seg.is_some());
+        let marked_slot = (0..2)
+            .find(|&i| mask_before & (1 << fts.pos_in_row(i)) != 0 && fts.slot(i).seg.is_some());
         if let Some(s) = marked_slot {
             fts.release(s);
             let (_, mask_after) = fts.eviction_state();
             assert!(mask_after.count_ones() < mask_before.count_ones());
         }
         let _ = a;
+    }
+
+    /// Builds the Fig. 14 head-to-head state: four valid segments whose
+    /// benefit counters and LRU timestamps make every policy prefer a
+    /// *different* victim.
+    ///
+    /// | slot | row | seg | benefit | last_use |
+    /// |---|---|---|---|---|
+    /// | A | 0 | (10,0) | 1 | 40 |
+    /// | B | 0 | (11,0) | 31 | 10 |
+    /// | C | 1 | (12,0) | 2 | 30 |
+    /// | D | 1 | (13,0) | 3 | 20 |
+    ///
+    /// Row benefit sums: row 0 = 32, row 1 = 5.
+    fn fig14_state() -> (FtsBank, [Allocation; 4]) {
+        let mut fts = FtsBank::new(2, 2);
+        let mut r = rng();
+        let a = fill(&mut fts, seg(10, 0), ReplacementPolicy::RowBenefit, &mut r);
+        let b = fill(&mut fts, seg(11, 0), ReplacementPolicy::RowBenefit, &mut r);
+        let c = fill(&mut fts, seg(12, 0), ReplacementPolicy::RowBenefit, &mut r);
+        let d = fill(&mut fts, seg(13, 0), ReplacementPolicy::RowBenefit, &mut r);
+        for (alloc, hits, t) in [(&a, 1, 40), (&b, 31, 10), (&c, 2, 30), (&d, 3, 20)] {
+            for _ in 0..hits {
+                fts.touch_hit(alloc.slot, false, t);
+            }
+        }
+        (fts, [a, b, c, d])
+    }
+
+    #[test]
+    fn fig14_policies_disagree_on_identical_state() {
+        let (state, _) = fig14_state();
+        let mut victims = Vec::new();
+        for policy in [
+            ReplacementPolicy::RowBenefit,
+            ReplacementPolicy::SegmentBenefit,
+            ReplacementPolicy::Lru,
+        ] {
+            let mut fts = state.clone();
+            let mut r = rng();
+            let v = fts.allocate(seg(99, 0), policy, &mut r, 50).unwrap().victim.unwrap();
+            victims.push(v.seg);
+        }
+        // RowBenefit drains the low-sum row (row 1) lowest-benefit-first -> C.
+        assert_eq!(victims[0], seg(12, 0), "RowBenefit victim");
+        // SegmentBenefit takes the global minimum benefit -> A.
+        assert_eq!(victims[1], seg(10, 0), "SegmentBenefit victim");
+        // LRU takes the oldest timestamp -> B.
+        assert_eq!(victims[2], seg(11, 0), "LRU victim");
+        assert_eq!(
+            victims.iter().collect::<std::collections::HashSet<_>>().len(),
+            3,
+            "the three deterministic policies must disagree here"
+        );
+    }
+
+    #[test]
+    fn fig14_random_is_seed_deterministic_and_spreads() {
+        let (state, _) = fig14_state();
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..32u64 {
+            let victim = |seed| {
+                let mut fts = state.clone();
+                let mut r = StdRng::seed_from_u64(seed);
+                fts.allocate(seg(99, 0), ReplacementPolicy::Random, &mut r, 50)
+                    .unwrap()
+                    .victim
+                    .unwrap()
+                    .seg
+            };
+            let v = victim(s);
+            assert_eq!(v, victim(s), "same seed must evict the same slot");
+            assert!((10..14).contains(&v.row), "victim must be one of the four valid slots");
+            seen.insert(v);
+        }
+        assert!(seen.len() > 1, "32 seeds must not all pick the same victim");
+    }
+
+    #[test]
+    fn lru_ties_break_toward_lowest_slot_index() {
+        let mut fts = FtsBank::new(2, 2);
+        let mut r = rng();
+        for i in 0..4 {
+            fill(&mut fts, seg(i, 0), ReplacementPolicy::Lru, &mut r);
+        }
+        // All four share last_use = 0 from allocation; the tie breaks at
+        // the lowest index (documented in select_by_key).
+        let v = fts.allocate(seg(50, 0), ReplacementPolicy::Lru, &mut r, 1).unwrap();
+        assert_eq!(v.victim.unwrap().slot, 0);
+    }
+
+    #[test]
+    fn row_benefit_remarks_after_marked_row_is_released() {
+        let mut fts = FtsBank::new(2, 2);
+        let mut r = rng();
+        let allocs: Vec<Allocation> = (0..4)
+            .map(|i| fill(&mut fts, seg(i, 0), ReplacementPolicy::RowBenefit, &mut r))
+            .collect();
+        // First eviction marks a row (both rows sum to 0; row 0 wins).
+        let v = fts.allocate(seg(50, 0), ReplacementPolicy::RowBenefit, &mut r, 1).unwrap();
+        fts.complete_relocation(v.slot);
+        let (marked, _) = fts.eviction_state();
+        let marked = marked.unwrap();
+        // Release the row's remaining occupants out from under the drain.
+        for a in &allocs {
+            if fts.row_of(a.slot) == marked && fts.slot(a.slot).seg.is_some() {
+                fts.release(a.slot);
+            }
+        }
+        // The next allocation must re-mark cleanly instead of spinning on
+        // the emptied mask. (The freed slots are reused first, then the
+        // other row is drained.)
+        for j in 0..3 {
+            let a = fts
+                .allocate(seg(60 + j, 0), ReplacementPolicy::RowBenefit, &mut r, 2)
+                .expect("allocation must succeed after release");
+            fts.complete_relocation(a.slot);
+        }
+        assert!(fts.find(seg(62, 0)).is_some());
     }
 }
 

@@ -82,7 +82,12 @@ pub struct RelocationJob {
 
 impl RelocationJob {
     /// Creates a FIGARO segment-copy job.
+    ///
+    /// The argument list mirrors the paper's RELOC operands one-to-one
+    /// (source/destination row, column, subarray, block count); a builder
+    /// struct here would only rename the same nine values.
     #[must_use]
+    #[allow(clippy::too_many_arguments)]
     pub fn fig_copy(
         id: u64,
         bank: u32,
@@ -106,7 +111,13 @@ impl RelocationJob {
 
     /// Creates a LISA-VILLA whole-row clone job.
     #[must_use]
-    pub fn lisa_clone(id: u64, bank: u32, purpose: JobPurpose, src_row: RowId, dst_row: RowId) -> Self {
+    pub fn lisa_clone(
+        id: u64,
+        bank: u32,
+        purpose: JobPurpose,
+        src_row: RowId,
+        dst_row: RowId,
+    ) -> Self {
         Self {
             id,
             bank,
@@ -126,7 +137,10 @@ impl RelocationJob {
     pub fn peek(&self, open_row: Option<RowId>, must_precharge: bool) -> Option<DramCommand> {
         match (self.phase, self.kind) {
             (Phase::Done, _) => None,
-            (Phase::Copy, JobKind::FigCopy { from_row, from_col, to_col, to_subarray, blocks, .. }) => {
+            (
+                Phase::Copy,
+                JobKind::FigCopy { from_row, from_col, to_col, to_subarray, blocks, .. },
+            ) => {
                 if must_precharge {
                     return Some(DramCommand::Precharge);
                 }
@@ -191,29 +205,35 @@ impl RelocationJob {
     }
 }
 
+/// Simulates a bank that immediately satisfies each command and records
+/// the issued sequence (shared by the unit and property tests).
+#[cfg(test)]
+fn drive(
+    job: &mut RelocationJob,
+    mut open_row: Option<RowId>,
+    mut must_pre: bool,
+) -> Vec<DramCommand> {
+    let mut issued = Vec::new();
+    while let Some(cmd) = job.peek(open_row, must_pre) {
+        match cmd {
+            DramCommand::Activate { row } => open_row = Some(row),
+            DramCommand::Precharge => {
+                open_row = None;
+                must_pre = false;
+            }
+            DramCommand::ActivateMerge { .. } => must_pre = true,
+            _ => {}
+        }
+        job.on_issued(&cmd);
+        issued.push(cmd);
+        assert!(issued.len() < 64, "job must terminate");
+    }
+    issued
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    fn drive(job: &mut RelocationJob, mut open_row: Option<RowId>, mut must_pre: bool) -> Vec<DramCommand> {
-        // Simulates a bank that immediately satisfies each command.
-        let mut issued = Vec::new();
-        while let Some(cmd) = job.peek(open_row, must_pre) {
-            match cmd {
-                DramCommand::Activate { row } => open_row = Some(row),
-                DramCommand::Precharge => {
-                    open_row = None;
-                    must_pre = false;
-                }
-                DramCommand::ActivateMerge { .. } => must_pre = true,
-                _ => {}
-            }
-            job.on_issued(&cmd);
-            issued.push(cmd);
-            assert!(issued.len() < 64, "job must terminate");
-        }
-        issued
-    }
 
     #[test]
     fn insert_with_source_already_open_skips_the_activate() {
@@ -252,7 +272,8 @@ mod tests {
 
     #[test]
     fn unaligned_copy_offsets_destination_columns() {
-        let mut job = RelocationJob::fig_copy(1, 0, JobPurpose::Writeback, 900, 48, 100, 112, 12, 16);
+        let mut job =
+            RelocationJob::fig_copy(1, 0, JobPurpose::Writeback, 900, 48, 100, 112, 12, 16);
         let cmds = drive(&mut job, Some(900), false);
         let trains: Vec<_> = cmds
             .iter()
@@ -286,5 +307,112 @@ mod tests {
     #[should_panic(expected = "at least one block")]
     fn zero_block_copy_panics() {
         let _ = RelocationJob::fig_copy(1, 0, JobPurpose::Insert, 1, 0, 2, 0, 1, 0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Whatever the bank's starting state, a FIGARO copy job issues
+        /// exactly one RELOC train carrying all its blocks, finishes with
+        /// the merge activation, and never issues data commands.
+        #[test]
+        fn fig_copy_command_sequence_invariants(
+            rows in (0u32..1024, 1024u32..2048),
+            cols in (0u32..112, 0u32..112),
+            to_subarray in 0u32..64,
+            blocks in 1u32..17,
+            start in (0u8..3, any::<bool>()),
+        ) {
+            let (from_row, to_row) = rows;
+            let (from_col, to_col) = cols;
+            let (open_kind, must_pre) = start;
+            let open_row = match open_kind {
+                0 => None,
+                1 => Some(from_row),
+                _ => Some(from_row + 1), // a different open row
+            };
+            let mut job = RelocationJob::fig_copy(
+                7, 3, JobPurpose::Insert, from_row, from_col, to_row, to_col, to_subarray, blocks,
+            );
+            prop_assert_eq!(job.blocks(), blocks);
+            let cmds = drive(&mut job, open_row, must_pre);
+            prop_assert!(job.is_done());
+            prop_assert_eq!(job.peek(None, false), None, "done jobs stay done");
+
+            // Exactly one RELOC train, carrying exactly `blocks` blocks
+            // with the constructed coordinates.
+            let trains: Vec<_> = cmds
+                .iter()
+                .filter_map(|c| match c {
+                    DramCommand::RelocBurst { src_col, dst_subarray, dst_col, count } => {
+                        Some((*src_col, *dst_subarray, *dst_col, *count))
+                    }
+                    _ => None,
+                })
+                .collect();
+            prop_assert_eq!(trains, vec![(from_col, to_subarray, to_col, blocks)]);
+
+            // The merge on the destination row is the final command.
+            prop_assert_eq!(cmds.last(), Some(&DramCommand::ActivateMerge { row: to_row }));
+
+            // Never a data or clone command; any activate targets the
+            // source row (merge activates are matched above).
+            for c in &cmds {
+                prop_assert!(
+                    !matches!(c, DramCommand::Read { .. } | DramCommand::Write { .. } | DramCommand::LisaClone { .. }),
+                    "copy job issued {c:?}"
+                );
+                if let DramCommand::Activate { row } = c {
+                    prop_assert_eq!(*row, from_row, "only the source row is activated");
+                }
+            }
+
+            // Preamble length matches the bank's starting state: 0..=2
+            // commands (PRE and/or ACT) before the train, merge after.
+            let train_pos = cmds
+                .iter()
+                .position(|c| matches!(c, DramCommand::RelocBurst { .. }))
+                .expect("train exists");
+            prop_assert!(train_pos <= 2, "at most PRE+ACT before the train, got {cmds:?}");
+            let needs_act = open_row != Some(from_row) || must_pre;
+            prop_assert_eq!(
+                cmds.len(),
+                2 + usize::from(needs_act) + usize::from(must_pre || matches!(open_row, Some(r) if r != from_row)),
+                "sequence {cmds:?} for open={open_row:?} must_pre={must_pre}"
+            );
+        }
+
+        /// A LISA clone issues exactly one composite clone command, from a
+        /// precharged bank, with at most one preceding precharge.
+        #[test]
+        fn lisa_clone_command_sequence_invariants(
+            src_row in 0u32..32_768,
+            dst_row in 32_768u32..33_280,
+            start in (0u8..3, any::<bool>()),
+        ) {
+            let (open_kind, must_pre) = start;
+            let open_row = match open_kind {
+                0 => None,
+                1 => Some(src_row),
+                _ => Some(src_row ^ 1),
+            };
+            let mut job = RelocationJob::lisa_clone(9, 1, JobPurpose::Insert, src_row, dst_row);
+            prop_assert_eq!(job.blocks(), 0, "whole-row clones report zero blocks");
+            let cmds = drive(&mut job, open_row, must_pre);
+            prop_assert!(job.is_done());
+            let expect_pre = usize::from(open_row.is_some() || must_pre);
+            prop_assert_eq!(cmds.len(), expect_pre + 1, "sequence {cmds:?}");
+            for c in &cmds[..expect_pre] {
+                prop_assert_eq!(c, &DramCommand::Precharge);
+            }
+            prop_assert_eq!(
+                cmds.last(),
+                Some(&DramCommand::LisaClone { src_row, dst_row })
+            );
+        }
     }
 }

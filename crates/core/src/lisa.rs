@@ -178,7 +178,8 @@ impl CacheEngine for LisaVillaEngine {
             self.stats.insertions_skipped += 1;
             return source;
         }
-        let Some(alloc) = state.tags.allocate(tag, ReplacementPolicy::SegmentBenefit, &mut self.rng, now)
+        let Some(alloc) =
+            state.tags.allocate(tag, ReplacementPolicy::SegmentBenefit, &mut self.rng, now)
         else {
             self.stats.insertions_skipped += 1;
             return source;
@@ -203,8 +204,13 @@ impl CacheEngine for LisaVillaEngine {
         }
         let id = self.next_job_id;
         self.next_job_id += 1;
-        let job =
-            RelocationJob::lisa_clone(id, bank, JobPurpose::Insert, row, self.cache_row_base + alloc.slot);
+        let job = RelocationJob::lisa_clone(
+            id,
+            bank,
+            JobPurpose::Insert,
+            row,
+            self.cache_row_base + alloc.slot,
+        );
         state.in_flight.insert(id, Some(alloc.slot));
         state.pending.push_back(job);
         source
@@ -323,7 +329,11 @@ mod tests {
         e.on_request(0, 30, 1, false, None, 2);
         let wb = e.take_job(0, 2).unwrap();
         assert_eq!(wb.purpose, JobPurpose::Writeback);
-        assert!(matches!(wb.kind, crate::job::JobKind::LisaClone { dst_row: 10, .. } | crate::job::JobKind::LisaClone { dst_row: 20, .. }));
+        assert!(matches!(
+            wb.kind,
+            crate::job::JobKind::LisaClone { dst_row: 10, .. }
+                | crate::job::JobKind::LisaClone { dst_row: 20, .. }
+        ));
         let ins = e.take_job(0, 2).unwrap();
         assert_eq!(ins.purpose, JobPurpose::Insert);
         assert_eq!(e.stats().evictions_dirty, 1);

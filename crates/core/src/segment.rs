@@ -37,7 +37,7 @@ impl SegmentGeometry {
     pub fn new(blocks_per_segment: u32, blocks_per_row: u32) -> Self {
         assert!(blocks_per_segment > 0 && blocks_per_row > 0);
         assert!(
-            blocks_per_row % blocks_per_segment == 0,
+            blocks_per_row.is_multiple_of(blocks_per_segment),
             "segment size ({blocks_per_segment} blocks) must divide the row ({blocks_per_row} blocks)"
         );
         Self { blocks_per_segment, blocks_per_row }

@@ -157,10 +157,8 @@ impl SetAssocCache {
             line.dirty |= dirty;
             return None;
         }
-        let victim = lines
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru } else { 0 })
-            .expect("ways > 0");
+        let victim =
+            lines.iter_mut().min_by_key(|l| if l.valid { l.lru } else { 0 }).expect("ways > 0");
         let mut writeback = None;
         let mut evicted = false;
         let mut evicted_dirty = false;
@@ -264,6 +262,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_geometry_panics() {
-        let _ = SetAssocCache::new(CacheParams { size_bytes: 192, ways: 1, block_bytes: 64, latency: 1 });
+        let _ = SetAssocCache::new(CacheParams {
+            size_bytes: 192,
+            ways: 1,
+            block_bytes: 64,
+            latency: 1,
+        });
     }
 }

@@ -242,11 +242,8 @@ mod tests {
                     in_flight.push((r.id, now + 50));
                 }
             }
-            let due: Vec<u64> = in_flight
-                .iter()
-                .filter(|&&(_, d)| d <= now)
-                .map(|&(id, _)| id)
-                .collect();
+            let due: Vec<u64> =
+                in_flight.iter().filter(|&&(_, d)| d <= now).map(|&(id, _)| id).collect();
             in_flight.retain(|&(_, d)| d > now);
             for id in due {
                 for token in h.on_completion(id) {
@@ -276,9 +273,8 @@ mod tests {
     fn dependent_long_loads_limit_ipc() {
         // Every op is a load to a new block with no non-memory work: the
         // window fills with waiting loads.
-        let ops: Vec<TraceOp> = (0..4096)
-            .map(|i| TraceOp { nonmem: 0, addr: i * 64 * 131, is_write: false })
-            .collect();
+        let ops: Vec<TraceOp> =
+            (0..4096).map(|i| TraceOp { nonmem: 0, addr: i * 64 * 131, is_write: false }).collect();
         let trace = tiny_trace(ops);
         let mut h = CacheHierarchy::new(HierarchyConfig::paper_default(1), 1);
         let mut core = TraceCore::new(0, CoreParams::paper_default(), trace, 3_000);

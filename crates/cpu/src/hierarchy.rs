@@ -334,7 +334,9 @@ mod tests {
         assert!(woken.is_empty(), "no load waiters for a posted store");
         // Evict the line by filling enough conflicting blocks through L1.
         // Instead, verify via a second store hit: the line is in L1.
-        assert!(matches!(h.access(0, 0x3000, true, 10), Access::Hit { ready_at } if ready_at == 14));
+        assert!(
+            matches!(h.access(0, 0x3000, true, 10), Access::Hit { ready_at } if ready_at == 14)
+        );
     }
 
     #[test]

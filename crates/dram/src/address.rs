@@ -171,8 +171,9 @@ mod tests {
     fn row_is_most_significant() {
         let m = map();
         let g = DramGeometry::paper_default();
-        let blocks_per_row_all_banks =
-            u64::from(g.blocks_per_row()) * u64::from(g.banks_per_channel()) * u64::from(g.channels);
+        let blocks_per_row_all_banks = u64::from(g.blocks_per_row())
+            * u64::from(g.banks_per_channel())
+            * u64::from(g.channels);
         let a = m.decode(PhysAddr(blocks_per_row_all_banks * 64));
         assert_eq!(a.row, 1);
         assert_eq!(a.col, 0);
@@ -249,6 +250,48 @@ mod proptests {
             prop_assert!(loc.bankgroup < g.bankgroups);
             prop_assert!(loc.rank < g.ranks);
             prop_assert!(loc.channel < g.channels);
+        }
+
+        /// decode∘encode = id for *any* power-of-two geometry, not just
+        /// the paper's: channels 1/2/4, ranks 1/2, bank groups 2/4, banks
+        /// per group 2/4, and both 4 kB and 8 kB rows.
+        #[test]
+        fn round_trip_across_geometries(
+            shape in (0u32..3, 0u32..2, 1u32..3, 1u32..3, 0u32..2),
+            block in 0u64..u64::MAX / 2,
+        ) {
+            let (ch, rk, bg, bk, rb) = shape;
+            let g = DramGeometry {
+                channels: 1 << ch,
+                ranks: 1 << rk,
+                bankgroups: 1 << bg,
+                banks_per_group: 1 << bk,
+                row_bytes: 4096 << rb,
+                ..DramGeometry::paper_default()
+            };
+            prop_assert!(g.validate().is_ok(), "geometry {g:?} must validate");
+            let m = AddressMapping::new(g);
+            let space_blocks = m.addr_space_bytes(32768) / 64;
+            let addr = PhysAddr((block % space_blocks) * 64);
+            let loc = m.decode(addr);
+            prop_assert_eq!(m.encode(loc), addr, "geometry {:?}", g);
+            prop_assert!(loc.col < g.blocks_per_row());
+            prop_assert!(loc.bank < g.banks_per_group);
+            prop_assert!(loc.bankgroup < g.bankgroups);
+            prop_assert!(loc.rank < g.ranks);
+            prop_assert!(loc.channel < g.channels);
+        }
+
+        /// Encoding is injective: two distinct in-range locations of the
+        /// same geometry never alias to one physical address.
+        #[test]
+        fn adjacent_blocks_decode_to_distinct_locations(
+            block in 0u64..(4u64 << 30) / 64 - 1,
+        ) {
+            let m = AddressMapping::new(DramGeometry::paper_default());
+            let a = m.decode(PhysAddr(block * 64));
+            let b = m.decode(PhysAddr((block + 1) * 64));
+            prop_assert!(a != b, "consecutive blocks must not alias");
         }
     }
 }

@@ -266,7 +266,8 @@ impl DramChannel {
                 // Earliest time every open bank in the rank may precharge.
                 let mut earliest = 0;
                 for (i, other) in self.banks.iter().enumerate() {
-                    if self.rank_of_index(i) == b.rank && (other.open_row.is_some() || other.must_precharge)
+                    if self.rank_of_index(i) == b.rank
+                        && (other.open_row.is_some() || other.must_precharge)
                     {
                         earliest = earliest.max(other.next_pre.max(other.busy_until));
                     }
@@ -289,7 +290,10 @@ impl DramChannel {
                 let mut earliest = 0;
                 for (i, other) in self.banks.iter().enumerate() {
                     if self.rank_of_index(i) == b.rank {
-                        if other.open_row.is_some() || other.must_precharge || other.pinned.is_some() {
+                        if other.open_row.is_some()
+                            || other.must_precharge
+                            || other.pinned.is_some()
+                        {
                             return ILLEGAL; // all banks must be quiescent first
                         }
                         earliest = earliest.max(other.next_act).max(other.busy_until);
@@ -369,9 +373,9 @@ impl DramChannel {
     }
 
     /// Duration of a LISA clone between the subarrays of `src_row` and
-    /// `dst_row`: source restoration + one row-buffer-movement step per hop
-    /// + destination settle + precharge. This is the distance-**dependent**
-    /// cost FIGARO's global-row-buffer path avoids.
+    /// `dst_row`: source restoration + one row-buffer-movement step per
+    /// hop + destination settle + precharge. This is the
+    /// distance-**dependent** cost FIGARO's global-row-buffer path avoids.
     #[must_use]
     pub fn lisa_clone_duration(&self, src_row: RowId, dst_row: RowId) -> Cycle {
         let t = &self.config.timing;
@@ -496,7 +500,8 @@ impl DramChannel {
                 rank.next_wr_s = rank.next_wr_s.max(now + Cycle::from(t.ccd_s));
                 rank.next_wr_l[bg] = rank.next_wr_l[bg].max(now + Cycle::from(t.ccd_l));
                 rank.next_rd_s = rank.next_rd_s.max(now + Cycle::from(t.cwl + t.bl + t.wtr_s));
-                rank.next_rd_l[bg] = rank.next_rd_l[bg].max(now + Cycle::from(t.cwl + t.bl + t.wtr_l));
+                rank.next_rd_l[bg] =
+                    rank.next_rd_l[bg].max(now + Cycle::from(t.cwl + t.bl + t.wtr_l));
                 let write_recovery = now + Cycle::from(t.cwl + t.bl + t.wr);
                 let bank = &mut self.banks[idx];
                 bank.next_pre = bank.next_pre.max(write_recovery);
@@ -544,10 +549,8 @@ impl DramChannel {
                     // latch). The bank's demand row may now close and
                     // other subarrays may activate freely.
                     let open = bank.open_row.expect("first RELOC requires the source row open");
-                    bank.pinned = Some(Pin {
-                        src_subarray: layout.subarray_id(open),
-                        dst_subarray,
-                    });
+                    bank.pinned =
+                        Some(Pin { src_subarray: layout.subarray_id(open), dst_subarray });
                 }
                 bank.next_reloc = now + Cycle::from(t.reloc_to_reloc);
                 // The column path (decoders + GRB) is occupied briefly.
@@ -763,8 +766,11 @@ mod tests {
         let pt = c.earliest_issue(bank0(), &DramCommand::Precharge, rt + 40).max(rt + 40);
         c.issue(bank0(), &DramCommand::Precharge, pt);
         assert_eq!(c.earliest_issue(bank0(), &DramCommand::Activate { row: 3 }, 200), ILLEGAL); // subarray 0 pinned
-        assert_eq!(c.earliest_issue(bank0(), &DramCommand::Activate { row: 5 * 512 }, 200), ILLEGAL); // subarray 5 pinned
-        // Finish the train: merge into subarray 5, pin released.
+        assert_eq!(
+            c.earliest_issue(bank0(), &DramCommand::Activate { row: 5 * 512 }, 200),
+            ILLEGAL
+        ); // subarray 5 pinned
+           // Finish the train: merge into subarray 5, pin released.
         let merge = DramCommand::ActivateMerge { row: 5 * 512 };
         let mt = c.earliest_issue(bank0(), &merge, 200);
         assert_ne!(mt, ILLEGAL);

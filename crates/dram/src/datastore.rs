@@ -98,7 +98,14 @@ impl DataStore {
     /// # Panics
     ///
     /// Panics if no row is latched, or `data` is not one block long.
-    pub fn write(&mut self, layout: &SubarrayLayout, bank: u32, open_row: RowId, col: u32, data: &[u8]) {
+    pub fn write(
+        &mut self,
+        layout: &SubarrayLayout,
+        bank: u32,
+        open_row: RowId,
+        col: u32,
+        data: &[u8],
+    ) {
         assert_eq!(data.len(), self.block_bytes);
         let sa = layout.subarray_id(open_row);
         let start = col as usize * self.block_bytes;
@@ -129,7 +136,8 @@ impl DataStore {
         dst_col: u32,
     ) {
         let src_sa = layout.subarray_id(open_row);
-        let src_lrb = self.lrb.get(&(bank, src_sa)).expect("RELOC from a subarray with no latched row");
+        let src_lrb =
+            self.lrb.get(&(bank, src_sa)).expect("RELOC from a subarray with no latched row");
         let s = src_col as usize * self.block_bytes;
         let block = src_lrb[s..s + self.block_bytes].to_vec();
         // The destination LRB senses and latches the block (paper Fig. 4 step 4).
@@ -152,10 +160,8 @@ impl DataStore {
     /// Panics if no `RELOC` deposited columns into `row`'s subarray.
     pub fn activate_merge(&mut self, layout: &SubarrayLayout, bank: u32, row: RowId) {
         let sa = layout.subarray_id(row);
-        let pending = self
-            .pending
-            .remove(&(bank, sa))
-            .expect("merge activation without preceding RELOCs");
+        let pending =
+            self.pending.remove(&(bank, sa)).expect("merge activation without preceding RELOCs");
         let mut data = self.rows.get(&(bank, row)).cloned().unwrap_or_else(|| self.zero_row());
         for (col, block) in &pending {
             let d = *col as usize * self.block_bytes;

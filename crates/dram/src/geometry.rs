@@ -82,7 +82,9 @@ impl DramGeometry {
         ];
         for (name, v) in fields {
             if v == 0 || !v.is_power_of_two() {
-                return Err(format!("geometry field `{name}` = {v} must be a non-zero power of two"));
+                return Err(format!(
+                    "geometry field `{name}` = {v} must be a non-zero power of two"
+                ));
             }
         }
         if self.block_bytes > self.row_bytes {
@@ -122,10 +124,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_block_larger_than_row() {
-        let g = DramGeometry {
-            block_bytes: 16 * 1024,
-            ..DramGeometry::paper_default()
-        };
+        let g = DramGeometry { block_bytes: 16 * 1024, ..DramGeometry::paper_default() };
         assert!(g.validate().is_err());
     }
 

@@ -282,11 +282,14 @@ impl SubarrayLayout {
         }
         match self.fast {
             FastLayout::None => {}
-            FastLayout::Appended { count, rows_each } | FastLayout::Interleaved { count, rows_each } => {
+            FastLayout::Appended { count, rows_each }
+            | FastLayout::Interleaved { count, rows_each } => {
                 if count == 0 || rows_each == 0 {
                     return Err("fast layout must have non-zero count and rows_each".into());
                 }
-                if matches!(self.fast, FastLayout::Interleaved { .. }) && count > self.regular_subarrays {
+                if matches!(self.fast, FastLayout::Interleaved { .. })
+                    && count > self.regular_subarrays
+                {
                     return Err(format!(
                         "cannot interleave {count} fast subarrays among {} regular ones",
                         self.regular_subarrays

@@ -96,7 +96,8 @@ mod tests {
     #[test]
     fn merge_from_accumulates_every_field() {
         let mut a = DramStats { activates: 1, reads: 2, relocs: 3, ..Default::default() };
-        let b = DramStats { activates: 10, reads: 20, relocs: 30, lisa_hops: 5, ..Default::default() };
+        let b =
+            DramStats { activates: 10, reads: 20, relocs: 30, lisa_hops: 5, ..Default::default() };
         a.merge_from(&b);
         assert_eq!(a.activates, 11);
         assert_eq!(a.reads, 22);

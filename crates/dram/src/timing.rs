@@ -99,8 +99,8 @@ impl TimingParams {
             wr: 12,
             wtr_s: 2,
             wtr_l: 6,
-            refi: 6240,  // 7.8 us
-            rfc: 280,    // 350 ns (8 Gb device class)
+            refi: 6240, // 7.8 us
+            rfc: 280,   // 350 ns (8 Gb device class)
             fast_rcd: scale_down(rcd, 0.455),
             fast_rp: scale_down(rp, 0.382),
             fast_ras: scale_down(ras, 0.629),

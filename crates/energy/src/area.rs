@@ -88,7 +88,7 @@ impl AreaModel {
     #[must_use]
     pub fn fts_cost(&self, banks: u32, entries: u32, segments_per_bank: u64) -> FtsCost {
         // Tag identifies the source segment: ceil(log2(#segments)).
-        let tag_bits = (64 - (segments_per_bank - 1).leading_zeros()) as u32;
+        let tag_bits = 64 - (segments_per_bank - 1).leading_zeros();
         let entry_bits = tag_bits + 5 + 1 + 1; // tag + benefit + valid + dirty
         let total_bits = u64::from(entry_bits) * u64::from(entries) * u64::from(banks);
         FtsCost {
@@ -177,8 +177,8 @@ mod tests {
     fn fts_matches_paper_26kb_and_26bit_entries() {
         let r = AreaModel::paper_default().paper_report();
         assert_eq!(r.fts.tag_bits, 18); // 256K segments -> 18 bits to index
-        // The paper states 19-bit tags and 26-bit entries (their tag spans
-        // one extra bit); our derived entry is 25 bits, total ~25 kB.
+                                        // The paper states 19-bit tags and 26-bit entries (their tag spans
+                                        // one extra bit); our derived entry is 25 bits, total ~25 kB.
         assert!(r.fts.entry_bits >= 25 && r.fts.entry_bits <= 26);
         assert!(r.fts.total_kib > 24.0 && r.fts.total_kib < 27.0, "{} KiB", r.fts.total_kib);
         assert!((r.fts.area_mm2 - 0.496).abs() < 0.05, "{} mm2", r.fts.area_mm2);

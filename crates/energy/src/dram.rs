@@ -115,7 +115,12 @@ impl DramEnergyModel {
     /// Computes the breakdown for the given command counts over
     /// `total_cycles` bus cycles on `channels` channels.
     #[must_use]
-    pub fn breakdown(&self, stats: &DramStats, total_cycles: u64, channels: u64) -> DramEnergyBreakdown {
+    pub fn breakdown(
+        &self,
+        stats: &DramStats,
+        total_cycles: u64,
+        channels: u64,
+    ) -> DramEnergyBreakdown {
         let act_slow = stats.activates + stats.merges;
         let act_fast = stats.activates_fast + stats.merges_fast;
         let act_pre = act_slow as f64 * self.act_pre_nj()

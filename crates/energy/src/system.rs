@@ -116,7 +116,8 @@ impl SystemEnergyModel {
         let l1l2 = nj_static(self.l1l2_static_w * f64::from(a.cores))
             + a.l1_accesses as f64 * self.l1_nj
             + a.l2_accesses as f64 * self.l2_nj;
-        let llc = nj_static(self.llc_static_w_per_mb * a.llc_mb) + a.llc_accesses as f64 * self.llc_nj;
+        let llc =
+            nj_static(self.llc_static_w_per_mb * a.llc_mb) + a.llc_accesses as f64 * self.llc_nj;
         let offchip = a.offchip_bytes as f64 * self.offchip_nj_per_byte;
         SystemEnergyBreakdown { cpu, l1l2, llc, offchip, dram: a.dram.total() }
     }
@@ -136,7 +137,12 @@ mod tests {
             llc_accesses: 200_000,
             offchip_bytes: 64 * 100_000,
             llc_mb: 16.0,
-            dram: DramEnergyBreakdown { act_pre: 1e6, rd: 4e5, background: 8e5, ..Default::default() },
+            dram: DramEnergyBreakdown {
+                act_pre: 1e6,
+                rd: 4e5,
+                background: 8e5,
+                ..Default::default()
+            },
         }
     }
 

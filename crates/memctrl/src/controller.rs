@@ -133,7 +133,12 @@ impl MemoryController {
     /// Builds a controller for channel `channel_id` of `dram` with the
     /// given cache `engine` (use [`figaro_core::NullEngine`] for `Base`).
     #[must_use]
-    pub fn new(dram: &DramConfig, cfg: McConfig, channel_id: u32, engine: Box<dyn CacheEngine>) -> Self {
+    pub fn new(
+        dram: &DramConfig,
+        cfg: McConfig,
+        channel_id: u32,
+        engine: Box<dyn CacheEngine>,
+    ) -> Self {
         let banks = dram.geometry.banks_per_channel() as usize;
         Self {
             cfg,
@@ -305,7 +310,8 @@ impl MemoryController {
         } else if self.write_q.len() <= self.cfg.wq_low {
             self.drain_writes = false;
         }
-        let serve_writes = self.drain_writes || (self.read_q.is_empty() && !self.write_q.is_empty());
+        let serve_writes =
+            self.drain_writes || (self.read_q.is_empty() && !self.write_q.is_empty());
 
         if self.cfg.enable_refresh && now >= self.next_refresh {
             self.refresh_pending = true;
@@ -398,7 +404,9 @@ impl MemoryController {
         let queue = if serve_writes { &self.write_q } else { &self.read_q };
         let mut best: Option<(usize, Cycle)> = None;
         for (i, e) in queue.iter().enumerate() {
-            if self.channel.open_row(e.bank) != Some(e.serve_row) || self.channel.must_precharge(e.bank) {
+            if self.channel.open_row(e.bank) != Some(e.serve_row)
+                || self.channel.must_precharge(e.bank)
+            {
                 continue;
             }
             let cmd = if e.req.is_write {
@@ -408,7 +416,7 @@ impl MemoryController {
             };
             if self.channel.can_issue(e.bank, &cmd, now) {
                 let arrival = e.req.arrival;
-                if best.map_or(true, |(_, a)| arrival < a) {
+                if best.is_none_or(|(_, a)| arrival < a) {
                     best = Some((i, arrival));
                 }
             }
@@ -449,7 +457,11 @@ impl MemoryController {
             if trains_only
                 && !matches!(
                     job.peek(open, must_pre),
-                    Some(DramCommand::Reloc { .. } | DramCommand::RelocBurst { .. } | DramCommand::ActivateMerge { .. })
+                    Some(
+                        DramCommand::Reloc { .. }
+                            | DramCommand::RelocBurst { .. }
+                            | DramCommand::ActivateMerge { .. }
+                    )
                 )
             {
                 continue;
@@ -494,7 +506,8 @@ impl MemoryController {
                 .engine
                 .next_job_source(bank)
                 .is_some_and(|src| self.channel.open_row(self.bank_addr_of(bank)) == Some(src));
-            let has_demand = self.read_q.iter().chain(self.write_q.iter()).any(|e| e.flat_bank == bank);
+            let has_demand =
+                self.read_q.iter().chain(self.write_q.iter()).any(|e| e.flat_bank == bank);
             if cheap || !has_demand {
                 self.jobs[bank_idx] = self.engine.take_job(bank, now);
             }
@@ -604,7 +617,12 @@ mod tests {
     }
 
     /// Ticks until `n` completions exist or `limit` cycles pass.
-    fn run_until_completions(mc: &mut MemoryController, start: Cycle, n: usize, limit: Cycle) -> (Vec<Completion>, Cycle) {
+    fn run_until_completions(
+        mc: &mut MemoryController,
+        start: Cycle,
+        n: usize,
+        limit: Cycle,
+    ) -> (Vec<Completion>, Cycle) {
         let mut done = Vec::new();
         let mut t = start;
         while done.len() < n && t < start + limit {

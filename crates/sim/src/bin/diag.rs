@@ -3,7 +3,7 @@
 //! a configuration behaves the way it does.
 
 use figaro_sim::runner::Scale;
-use figaro_sim::{ConfigKind, SystemConfig, System};
+use figaro_sim::{ConfigKind, System, SystemConfig};
 use figaro_workloads::profile_by_name;
 
 fn parse_kind(name: &str) -> ConfigKind {
@@ -45,16 +45,26 @@ fn main() {
     println!("avg read latency  : {:.1} bus cycles", s.mc.avg_read_latency());
     println!(
         "row hit/miss/conf : {} / {} / {}  (hit rate {:.3})",
-        s.mc.row_hits, s.mc.row_misses, s.mc.row_conflicts, s.row_hit_rate()
+        s.mc.row_hits,
+        s.mc.row_misses,
+        s.mc.row_conflicts,
+        s.row_hit_rate()
     );
     println!(
         "acts slow/fast    : {} / {}   merges {} / {}",
         s.dram.activates, s.dram.activates_fast, s.dram.merges, s.dram.merges_fast
     );
-    println!("relocs / clones   : {} / {} (hops {})", s.dram.relocs, s.dram.lisa_clones, s.dram.lisa_hops);
+    println!(
+        "relocs / clones   : {} / {} (hops {})",
+        s.dram.relocs, s.dram.lisa_clones, s.dram.lisa_hops
+    );
     println!(
         "cache: lookups {} hits {} (bypassed {}) miss {} hitrate {:.3}",
-        s.cache.lookups, s.cache.hits, s.cache.hits_bypassed, s.cache.misses, s.cache_hit_rate()
+        s.cache.lookups,
+        s.cache.hits,
+        s.cache.hits_bypassed,
+        s.cache.misses,
+        s.cache_hit_rate()
     );
     println!(
         "cache: ins {} skip {} cancel {} evc {} evd {}",

@@ -97,7 +97,9 @@ impl SystemConfig {
         let geometry = base.geometry.with_channels(self.channels);
         let layout = match &self.kind {
             ConfigKind::Base | ConfigKind::FigCacheSlow => SubarrayLayout::homogeneous(64, 512),
-            ConfigKind::LisaVilla => SubarrayLayout::homogeneous(64, 512).with_interleaved_fast(16, 32),
+            ConfigKind::LisaVilla => {
+                SubarrayLayout::homogeneous(64, 512).with_interleaved_fast(16, 32)
+            }
             ConfigKind::FigCacheFast | ConfigKind::FigCacheIdeal => {
                 SubarrayLayout::homogeneous(64, 512).with_appended_fast(2, 32)
             }

@@ -10,15 +10,17 @@
 //! category); set `FIGARO_FULL_SWEEPS=1` for the paper's full set.
 
 use figaro_core::ReplacementPolicy;
-use figaro_workloads::{app_profiles, eight_core_mixes, multithreaded_profiles, AppProfile, Mix, MixCategory};
+use figaro_workloads::{
+    app_profiles, eight_core_mixes, multithreaded_profiles, AppProfile, Mix, MixCategory,
+};
 
 use crate::config::{ConfigKind, SystemConfig};
 use crate::metrics::{geomean, weighted_speedup};
 use crate::report::FigureData;
-use crate::runner::{Runner, RunSummary};
+use crate::runner::{RunSummary, Runner};
 
 fn full_sweeps() -> bool {
-    std::env::var("FIGARO_FULL_SWEEPS").map_or(false, |v| v == "1")
+    std::env::var("FIGARO_FULL_SWEEPS").is_ok_and(|v| v == "1")
 }
 
 /// Applications used in sweep figures (subset unless `FIGARO_FULL_SWEEPS=1`).
@@ -51,27 +53,19 @@ fn mean(values: &[f64]) -> f64 {
 }
 
 /// Runs `apps × kinds` single-core points in parallel; result indexed
-/// `[app][kind]`.
-fn single_matrix(runner: &Runner, apps: &[AppProfile], kinds: &[ConfigKind]) -> Vec<Vec<RunSummary>> {
-    let specs: Vec<(usize, usize)> =
-        (0..apps.len()).flat_map(|a| (0..kinds.len()).map(move |k| (a, k))).collect();
-    let flat = Runner::parallel_map(specs.len(), |i| {
-        let (a, k) = specs[i];
-        runner.run_single(&apps[a], kinds[k].clone())
-    });
-    flat.chunks(kinds.len()).map(<[RunSummary]>::to_vec).collect()
+/// `[app][kind]` (delegates to the runner's rayon batch API).
+fn single_matrix(
+    runner: &Runner,
+    apps: &[AppProfile],
+    kinds: &[ConfigKind],
+) -> Vec<Vec<RunSummary>> {
+    runner.run_single_matrix(apps, kinds)
 }
 
 /// Runs `mixes × kinds` eight-core points in parallel; indexed
-/// `[mix][kind]`.
+/// `[mix][kind]` (delegates to the runner's rayon batch API).
 fn mix_matrix(runner: &Runner, mixes: &[Mix], kinds: &[ConfigKind]) -> Vec<Vec<RunSummary>> {
-    let specs: Vec<(usize, usize)> =
-        (0..mixes.len()).flat_map(|m| (0..kinds.len()).map(move |k| (m, k))).collect();
-    let flat = Runner::parallel_map(specs.len(), |i| {
-        let (m, k) = specs[i];
-        runner.run_mix(&mixes[m], kinds[k].clone())
-    });
-    flat.chunks(kinds.len()).map(<[RunSummary]>::to_vec).collect()
+    runner.run_mix_matrix(mixes, kinds)
 }
 
 /// Normalized weighted speedup of `summary` vs `base` for `mix`, using
@@ -107,7 +101,9 @@ pub fn fig07(runner: &Runner) -> FigureData {
     fig.push_note(
         "paper: FIGCache-Fast averages +1.5% (up to +2.9%) on non-intensive and +16.1% (up to +22.5%) on intensive applications",
     );
-    fig.push_note("paper: FIGCache-Slow retains most of FIGCache-Fast's gain (avg +5.9% single-core)");
+    fig.push_note(
+        "paper: FIGCache-Slow retains most of FIGCache-Fast's gain (avg +5.9% single-core)",
+    );
     fig
 }
 
@@ -118,8 +114,7 @@ pub fn fig08(runner: &Runner) -> FigureData {
     let kinds: Vec<ConfigKind> =
         std::iter::once(ConfigKind::Base).chain(ConfigKind::figure78_set()).collect();
     // Warm the alone-IPC cache in parallel first.
-    let distinct: Vec<AppProfile> = app_profiles();
-    let _ = Runner::parallel_map(distinct.len(), |i| runner.alone_ipc(&distinct[i]));
+    let _ = runner.alone_ipc_batch(&app_profiles());
     let matrix = mix_matrix(runner, &mixes, &kinds);
     let labels: Vec<String> = kinds[1..].iter().map(|k| k.label().to_string()).collect();
     let mut fig = FigureData::new("Figure 8: eight-core weighted speedup over Base", labels);
@@ -152,8 +147,7 @@ pub fn fig08(runner: &Runner) -> FigureData {
 /// **Figure 9**: in-DRAM cache hit rate of LISA-VILLA vs FIGCache-Slow vs
 /// FIGCache-Fast, averaged per workload category.
 pub fn fig09(runner: &Runner) -> FigureData {
-    let kinds =
-        vec![ConfigKind::LisaVilla, ConfigKind::FigCacheSlow, ConfigKind::FigCacheFast];
+    let kinds = vec![ConfigKind::LisaVilla, ConfigKind::FigCacheSlow, ConfigKind::FigCacheFast];
     let labels: Vec<String> = kinds.iter().map(|k| k.label().to_string()).collect();
     let mut fig = FigureData::new("Figure 9: in-DRAM cache hit rate (%)", labels);
     category_metric(runner, &kinds, &mut fig, |s| s.cache_hit_rate * 100.0);
@@ -224,8 +218,10 @@ fn category_metric(
 /// DRAM) normalized to each category's `Base` total.
 pub fn fig11(runner: &Runner) -> FigureData {
     let kinds = vec![ConfigKind::Base, ConfigKind::FigCacheSlow, ConfigKind::FigCacheFast];
-    let columns: Vec<String> =
-        ["CPU", "L1&L2", "LLC", "Off-Chip", "DRAM", "Total"].iter().map(|s| (*s).to_string()).collect();
+    let columns: Vec<String> = ["CPU", "L1&L2", "LLC", "Off-Chip", "DRAM", "Total"]
+        .iter()
+        .map(|s| (*s).to_string())
+        .collect();
     let mut fig = FigureData::new("Figure 11: system energy normalized to Base", columns);
     let apps = app_profiles();
     let matrix = single_matrix(runner, &apps, &kinds);
@@ -260,12 +256,8 @@ pub fn fig11(runner: &Runner) -> FigureData {
         add_group(label, &idxs, &matrix);
     }
     for cat in MixCategory::all() {
-        let idxs: Vec<usize> = mixes
-            .iter()
-            .enumerate()
-            .filter(|(_, m)| m.category == cat)
-            .map(|(i, _)| i)
-            .collect();
+        let idxs: Vec<usize> =
+            mixes.iter().enumerate().filter(|(_, m)| m.category == cat).map(|(i, _)| i).collect();
         add_group(&format!("8-core {}", cat.label()), &idxs, &mix_mat);
     }
     fig.push_note("paper: FIGCache-Slow/Fast cut 1-core intensive system energy by 6.9%/11.1%; savings come from fewer ACT/PRE (row hits) and shorter runtime");
@@ -293,14 +285,15 @@ pub fn fig12(runner: &Runner) -> FigureData {
 /// **Figure 13**: sensitivity to the row-segment size (512 B … 8 kB) with
 /// LISA-VILLA for reference.
 pub fn fig13(runner: &Runner) -> FigureData {
-    let points: Vec<(String, ConfigKind)> = [(8u32, "512B"), (16, "1KB"), (32, "2KB"), (64, "4KB"), (128, "8KB")]
-        .iter()
-        .map(|&(blocks, label)| {
-            let SystemConfig { kind, .. } = SystemConfig::fig13_point(1, blocks);
-            (label.to_string(), kind)
-        })
-        .chain([(String::from("LISA-VILLA"), ConfigKind::LisaVilla)])
-        .collect();
+    let points: Vec<(String, ConfigKind)> =
+        [(8u32, "512B"), (16, "1KB"), (32, "2KB"), (64, "4KB"), (128, "8KB")]
+            .iter()
+            .map(|&(blocks, label)| {
+                let SystemConfig { kind, .. } = SystemConfig::fig13_point(1, blocks);
+                (label.to_string(), kind)
+            })
+            .chain([(String::from("LISA-VILLA"), ConfigKind::LisaVilla)])
+            .collect();
     sweep_figure(runner, "Figure 13: speedup vs row-segment size", &points, &[
         "paper: performance peaks at 1 kB segments (1/8 row)",
         "paper: whole-row (8 kB) segments fall slightly below LISA-VILLA — 128 RELOCs per relocation outweigh the benefit",
@@ -365,7 +358,12 @@ fn sweep_figure(
             .collect();
         let vals: Vec<f64> = (1..kinds.len())
             .map(|k| {
-                geomean(&idxs.iter().map(|&i| matrix[i][k].ipc[0] / matrix[i][0].ipc[0]).collect::<Vec<_>>())
+                geomean(
+                    &idxs
+                        .iter()
+                        .map(|&i| matrix[i][k].ipc[0] / matrix[i][0].ipc[0])
+                        .collect::<Vec<_>>(),
+                )
             })
             .collect();
         fig.push_row(label, vals);
@@ -413,7 +411,10 @@ pub fn tab2(runner: &Runner) -> FigureData {
     );
     for (i, app) in apps.iter().enumerate() {
         let mpki = matrix[i][0].mpki[0];
-        fig.push_row(app.name, vec![mpki, f64::from(u8::from(mpki > 10.0)), f64::from(u8::from(app.memory_intensive))]);
+        fig.push_row(
+            app.name,
+            vec![mpki, f64::from(u8::from(mpki > 10.0)), f64::from(u8::from(app.memory_intensive))],
+        );
     }
     fig.push_note("paper splits Table 2 at 10 LLC misses per kilo-instruction");
     fig
@@ -427,14 +428,11 @@ pub fn multithreaded(runner: &Runner) -> FigureData {
         "Multithreaded workloads: FIGCache-Fast speedup over Base (execution time)",
         vec!["speedup".into()],
     );
-    let results = Runner::parallel_map(profiles.len() * 2, |i| {
-        let p = &profiles[i / 2];
-        if i % 2 == 0 {
-            runner.run_multithreaded(p, ConfigKind::Base)
-        } else {
-            runner.run_multithreaded(p, ConfigKind::FigCacheFast)
-        }
-    });
+    let jobs: Vec<(AppProfile, ConfigKind)> = profiles
+        .iter()
+        .flat_map(|p| [(*p, ConfigKind::Base), (*p, ConfigKind::FigCacheFast)])
+        .collect();
+    let results = runner.run_multithreaded_batch(&jobs);
     let mut speedups = Vec::new();
     for (i, p) in profiles.iter().enumerate() {
         let base = &results[i * 2];

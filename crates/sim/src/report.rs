@@ -53,13 +53,7 @@ impl FigureData {
     pub fn render(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "== {} ==", self.title);
-        let label_w = self
-            .rows
-            .iter()
-            .map(|(l, _)| l.len())
-            .chain([8])
-            .max()
-            .unwrap_or(8);
+        let label_w = self.rows.iter().map(|(l, _)| l.len()).chain([8]).max().unwrap_or(8);
         let col_w: Vec<usize> = self.columns.iter().map(|c| c.len().max(9)).collect();
         let _ = write!(out, "{:label_w$}", "");
         for (c, w) in self.columns.iter().zip(&col_w) {

@@ -1,13 +1,27 @@
 //! The experiment runner: scales, deterministic trace construction,
 //! alone-IPC measurement for weighted speedup, a file-backed result cache
 //! (so benches that share runs — e.g. Figs. 7/9/10/11 — do not recompute
-//! them), and a small parallel map over independent runs.
+//! them), and a parallel batch API over independent runs.
+//!
+//! ## Parallel batches
+//!
+//! Every run is a pure function of `(scale, workload, config)`, so
+//! independent runs parallelize trivially. The `*_batch` / `*_matrix`
+//! methods fan a job list out over rayon and return results **in input
+//! order**, which makes a parallel batch bit-identical to the equivalent
+//! serial loop — same `RunSummary` values, same cache keys, same on-disk
+//! cache contents. The on-disk cache is safe under this concurrency: a
+//! process-wide per-key mutex serializes compute-and-publish per cache
+//! key (so duplicate jobs in one batch compute once), and files are
+//! published with a write-temp-then-rename so concurrent *processes*
+//! never observe torn files.
 
 use std::collections::HashMap;
 use std::fs;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use rayon::prelude::*;
 
 use figaro_workloads::{generate_trace, AppProfile, Mix, Trace, TraceOp};
 
@@ -35,10 +49,20 @@ impl Scale {
     /// Reads `FIGARO_SCALE` (default [`Scale::Small`]).
     #[must_use]
     pub fn from_env() -> Self {
+        Self::from_env_or(Scale::Small)
+    }
+
+    /// Reads `FIGARO_SCALE`, falling back to `default` when unset or
+    /// unrecognized. The integration suite's fast tier uses
+    /// `from_env_or(Scale::Tiny)` so CI stays fast while a local
+    /// `FIGARO_SCALE=small` run can still exercise bigger runs.
+    #[must_use]
+    pub fn from_env_or(default: Scale) -> Self {
         match std::env::var("FIGARO_SCALE").unwrap_or_default().to_lowercase().as_str() {
             "tiny" => Scale::Tiny,
+            "small" => Scale::Small,
             "full" => Scale::Full,
-            _ => Scale::Small,
+            _ => default,
         }
     }
 
@@ -147,9 +171,8 @@ impl RunSummary {
             let (k, v) = line.split_once(' ')?;
             map.insert(k.to_string(), v.to_string());
         }
-        let parse_vec = |s: &str| -> Option<Vec<f64>> {
-            s.split(',').map(|x| x.parse::<f64>().ok()).collect()
-        };
+        let parse_vec =
+            |s: &str| -> Option<Vec<f64>> { s.split(',').map(|x| x.parse::<f64>().ok()).collect() };
         let e = parse_vec(map.get("energy")?)?;
         if e.len() != 5 {
             return None;
@@ -219,17 +242,45 @@ impl Runner {
         Self { scale, cache_dir: None }
     }
 
+    /// A runner with the result cache at an explicit directory (tests,
+    /// tooling that wants an isolated cache).
+    #[must_use]
+    pub fn with_cache_dir(scale: Scale, dir: PathBuf) -> Self {
+        Self { scale, cache_dir: Some(dir) }
+    }
+
     /// The runner's scale.
     #[must_use]
     pub fn scale(&self) -> Scale {
         self.scale
     }
 
+    /// The process-wide per-cache-file lock: concurrent batch workers
+    /// that land on the same `(cache_dir, key)` serialize here, so the
+    /// first computes and publishes while the rest read the published
+    /// file. Entries are never evicted — the registry is bounded by the
+    /// number of distinct run keys in a process (a few hundred for the
+    /// full sweep set, each a few dozen bytes).
+    fn key_lock(path: &std::path::Path) -> Arc<Mutex<()>> {
+        static LOCKS: OnceLock<Mutex<HashMap<PathBuf, Arc<Mutex<()>>>>> = OnceLock::new();
+        LOCKS
+            .get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .expect("lock registry never poisoned")
+            .entry(path.to_path_buf())
+            .or_default()
+            .clone()
+    }
+
     fn cached<F: FnOnce() -> RunSummary>(&self, key: &str, run: F) -> RunSummary {
         let Some(dir) = &self.cache_dir else { return run() };
-        let safe: String =
-            key.chars().map(|c| if c.is_alphanumeric() || c == '-' || c == '.' { c } else { '_' }).collect();
+        let safe: String = key
+            .chars()
+            .map(|c| if c.is_alphanumeric() || c == '-' || c == '.' { c } else { '_' })
+            .collect();
         let path = dir.join(format!("{safe}.txt"));
+        let lock = Self::key_lock(&path);
+        let _guard = lock.lock().expect("cache key lock never poisoned");
         if let Ok(text) = fs::read_to_string(&path) {
             if let Some(s) = RunSummary::from_text(&text) {
                 return s;
@@ -237,14 +288,23 @@ impl Runner {
         }
         let s = run();
         let _ = fs::create_dir_all(dir);
-        let _ = fs::write(&path, s.to_text());
+        // Publish atomically (temp + rename) so a concurrent reader in
+        // another process never sees a torn file.
+        let tmp = dir.join(format!("{safe}.{}.tmp", std::process::id()));
+        if fs::write(&tmp, s.to_text()).is_ok() {
+            let _ = fs::rename(&tmp, &path);
+        }
         s
     }
 
     /// Trace for `profile` on logical core `core`.
     #[must_use]
     pub fn trace_for(&self, profile: &AppProfile, core: usize) -> Trace {
-        generate_trace(profile, ops_for(profile, insts_for(profile, self.scale)), seed_for(profile.name, core))
+        generate_trace(
+            profile,
+            ops_for(profile, insts_for(profile, self.scale)),
+            seed_for(profile.name, core),
+        )
     }
 
     /// Runs one application on the single-core system under `kind`.
@@ -313,34 +373,69 @@ impl Runner {
         summary.ipc[0]
     }
 
-    /// Maps `f` over `0..n` on a couple of worker threads (runs are
-    /// independent; results come back in index order).
+    /// Runs a batch of single-core jobs in parallel; results in input
+    /// order, bit-identical to calling [`Runner::run_single`] serially.
+    pub fn run_single_batch(&self, jobs: &[(AppProfile, ConfigKind)]) -> Vec<RunSummary> {
+        jobs.par_iter().map(|(p, k)| self.run_single(p, k.clone())).collect::<Vec<_>>()
+    }
+
+    /// Runs a batch of eight-core mix jobs in parallel; results in input
+    /// order, bit-identical to calling [`Runner::run_mix`] serially.
+    pub fn run_mix_batch(&self, jobs: &[(Mix, ConfigKind)]) -> Vec<RunSummary> {
+        jobs.par_iter().map(|(m, k)| self.run_mix(m, k.clone())).collect::<Vec<_>>()
+    }
+
+    /// Runs a batch of eight-thread multithreaded jobs in parallel;
+    /// results in input order.
+    pub fn run_multithreaded_batch(&self, jobs: &[(AppProfile, ConfigKind)]) -> Vec<RunSummary> {
+        jobs.par_iter().map(|(p, k)| self.run_multithreaded(p, k.clone())).collect::<Vec<_>>()
+    }
+
+    /// Alone-IPCs for `profiles` in parallel (the weighted-speedup
+    /// denominators); results in input order.
+    pub fn alone_ipc_batch(&self, profiles: &[AppProfile]) -> Vec<f64> {
+        profiles.par_iter().map(|p| self.alone_ipc(p)).collect::<Vec<_>>()
+    }
+
+    /// Runs the `apps × kinds` single-core matrix in parallel; result
+    /// indexed `[app][kind]`. This is the shared shape of Figs. 7/9/10/11
+    /// and the sweep figures.
+    pub fn run_single_matrix(
+        &self,
+        apps: &[AppProfile],
+        kinds: &[ConfigKind],
+    ) -> Vec<Vec<RunSummary>> {
+        let specs: Vec<(usize, usize)> =
+            (0..apps.len()).flat_map(|a| (0..kinds.len()).map(move |k| (a, k))).collect();
+        let flat: Vec<RunSummary> = specs
+            .into_par_iter()
+            .map(|(a, k)| self.run_single(&apps[a], kinds[k].clone()))
+            .collect::<Vec<_>>();
+        flat.chunks(kinds.len().max(1)).map(<[RunSummary]>::to_vec).collect()
+    }
+
+    /// Runs the `mixes × kinds` eight-core matrix in parallel; result
+    /// indexed `[mix][kind]`.
+    pub fn run_mix_matrix(&self, mixes: &[Mix], kinds: &[ConfigKind]) -> Vec<Vec<RunSummary>> {
+        let specs: Vec<(usize, usize)> =
+            (0..mixes.len()).flat_map(|m| (0..kinds.len()).map(move |k| (m, k))).collect();
+        let flat: Vec<RunSummary> = specs
+            .into_par_iter()
+            .map(|(m, k)| self.run_mix(&mixes[m], kinds[k].clone()))
+            .collect::<Vec<_>>();
+        flat.chunks(kinds.len().max(1)).map(<[RunSummary]>::to_vec).collect()
+    }
+
+    /// Maps `f` over `0..n` on the worker pool (runs are independent;
+    /// results come back in index order). Prefer the typed `*_batch` /
+    /// `*_matrix` methods for simulation runs; this remains for
+    /// irregular job shapes.
     pub fn parallel_map<T, F>(n: usize, f: F) -> Vec<T>
     where
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
-        let workers = std::thread::available_parallelism().map_or(2, std::num::NonZeroUsize::get).min(n.max(1));
-        let next = AtomicUsize::new(0);
-        let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let r = f(i);
-                    results.lock().expect("no poisoned lock")[i] = Some(r);
-                });
-            }
-        });
-        results
-            .into_inner()
-            .expect("no poisoned lock")
-            .into_iter()
-            .map(|o| o.expect("every index computed"))
-            .collect()
+        (0..n).into_par_iter().map(f).collect::<Vec<_>>()
     }
 }
 
@@ -405,5 +500,70 @@ mod tests {
         let s = runner.run_single(&p, ConfigKind::Base);
         assert!(s.ipc[0] > 0.0);
         assert!(s.mpki[0] < 10.0, "sjeng must classify non-intensive, mpki {}", s.mpki[0]);
+    }
+
+    #[test]
+    fn parallel_batch_is_bit_identical_to_serial() {
+        let runner = Runner::uncached(Scale::Tiny);
+        let jobs: Vec<_> = ["sjeng", "grep"]
+            .iter()
+            .flat_map(|n| {
+                let p = profile_by_name(n).unwrap();
+                [(p, ConfigKind::Base), (p, ConfigKind::FigCacheFast)]
+            })
+            .collect();
+        let parallel = runner.run_single_batch(&jobs);
+        let serial: Vec<RunSummary> =
+            jobs.iter().map(|(p, k)| runner.run_single(p, k.clone())).collect();
+        assert_eq!(parallel, serial, "batch must equal the serial loop bit-for-bit");
+    }
+
+    #[test]
+    fn matrix_indexing_matches_flat_jobs() {
+        let runner = Runner::uncached(Scale::Tiny);
+        let apps = vec![profile_by_name("sjeng").unwrap(), profile_by_name("grep").unwrap()];
+        let kinds = vec![ConfigKind::Base, ConfigKind::FigCacheFast];
+        let matrix = runner.run_single_matrix(&apps, &kinds);
+        assert_eq!(matrix.len(), 2);
+        assert_eq!(matrix[0].len(), 2);
+        assert_eq!(matrix[1][0], runner.run_single(&apps[1], ConfigKind::Base));
+    }
+
+    #[test]
+    fn shared_cache_dedups_duplicate_jobs_and_survives_reload() {
+        let dir = std::env::temp_dir()
+            .join(format!("figaro-cache-test-{}", std::process::id()))
+            .join("dedup");
+        let _ = std::fs::remove_dir_all(&dir);
+        let runner = Runner::with_cache_dir(Scale::Tiny, dir.clone());
+        let p = profile_by_name("grep").unwrap();
+        // Four copies of the same job racing over one cache key.
+        let jobs = vec![(p, ConfigKind::Base); 4];
+        let out = runner.run_single_batch(&jobs);
+        assert!(out.windows(2).all(|w| w[0] == w[1]), "duplicates must agree");
+        let files: Vec<_> = std::fs::read_dir(&dir)
+            .expect("cache dir exists")
+            .filter_map(Result::ok)
+            .map(|e| e.file_name().into_string().unwrap())
+            .collect();
+        assert_eq!(files.len(), 1, "one key -> one published file, got {files:?}");
+        assert!(files[0].ends_with(".txt"), "no stray temp files: {files:?}");
+        // A fresh runner over the same dir must load the identical summary.
+        let reloaded = Runner::with_cache_dir(Scale::Tiny, dir.clone());
+        assert_eq!(reloaded.run_single(&p, ConfigKind::Base), out[0]);
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap());
+    }
+
+    #[test]
+    fn scale_env_fallback_prefers_default_when_unset() {
+        // Do not set the env var here (tests share the process); only
+        // exercise the parse-side default.
+        assert_eq!(Scale::from_env_or(Scale::Tiny).label(), {
+            match std::env::var("FIGARO_SCALE").unwrap_or_default().to_lowercase().as_str() {
+                "small" => "small",
+                "full" => "full",
+                _ => "tiny",
+            }
+        });
     }
 }

@@ -96,7 +96,7 @@ impl System {
         let fill_latency = u64::from(self.cfg.hierarchy.fill_latency);
         while self.cores.iter().any(|c| !c.finished()) && self.cpu_cycle < max_cpu_cycles {
             let now = self.cpu_cycle;
-            if now % per_bus == 0 {
+            if now.is_multiple_of(per_bus) {
                 let bus = now / per_bus;
                 self.route_requests(bus);
                 for mc in &mut self.mcs {
@@ -141,11 +141,8 @@ impl System {
             cache.blocks_relocated += e.blocks_relocated;
         }
         let hierarchy = self.hierarchy.stats();
-        let finish_cycles: Vec<u64> = self
-            .cores
-            .iter()
-            .map(|c| c.finished_at().unwrap_or(self.cpu_cycle))
-            .collect();
+        let finish_cycles: Vec<u64> =
+            self.cores.iter().map(|c| c.finished_at().unwrap_or(self.cpu_cycle)).collect();
         let instructions: Vec<u64> = self.cores.iter().map(TraceCore::retired).collect();
         let bus_cycles = self.cpu_cycle / self.cfg.cpu_cycles_per_bus;
         let dram_energy =
@@ -232,8 +229,11 @@ mod tests {
             .iter()
             .map(|n| profile_by_name(n).unwrap())
             .collect();
-        let traces: Vec<Trace> =
-            apps.iter().enumerate().map(|(i, p)| generate_trace(p, 8_000, 100 + i as u64)).collect();
+        let traces: Vec<Trace> = apps
+            .iter()
+            .enumerate()
+            .map(|(i, p)| generate_trace(p, 8_000, 100 + i as u64))
+            .collect();
         let cfg = SystemConfig::paper(8, ConfigKind::FigCacheFast);
         let mut sys = System::new(cfg, traces, &[15_000; 8]);
         let s = sys.run(50_000_000);

@@ -73,8 +73,11 @@ impl AppProfile {
         if self.nonmem_per_mem < 0.0 {
             return Err(format!("{}: negative nonmem_per_mem", self.name));
         }
-        if self.hot_segments % 8 != 0 || self.phase_segments % 8 != 0 {
-            return Err(format!("{}: hot/phase segments must be multiples of the group size (8)", self.name));
+        if !self.hot_segments.is_multiple_of(8) || !self.phase_segments.is_multiple_of(8) {
+            return Err(format!(
+                "{}: hot/phase segments must be multiples of the group size (8)",
+                self.name
+            ));
         }
         if self.group_span < 1.0 || self.group_span > 8.0 {
             return Err(format!("{}: group_span out of range [1, 8]", self.name));
@@ -83,7 +86,10 @@ impl AppProfile {
         let groups = u64::from(self.hot_segments / 8);
         let classes = groups.div_ceil(64).max(1);
         if pages / 64 < classes * 8 {
-            return Err(format!("{}: footprint too small for same-bank group placement", self.name));
+            return Err(format!(
+                "{}: footprint too small for same-bank group placement",
+                self.name
+            ));
         }
         Ok(())
     }

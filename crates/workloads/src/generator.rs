@@ -139,8 +139,7 @@ impl TraceGenerator {
             let seg = group * GROUP + (first + m) % GROUP;
             let page = self.hot_page(seg);
             let slot = self.hot_slot_block(seg);
-            let burst_len =
-                self.sample_burst(self.profile.hot_burst).min(hot_blocks as u32).max(1);
+            let burst_len = self.sample_burst(self.profile.hot_burst).min(hot_blocks as u32).max(1);
             let start = self.rng.gen_range(0..hot_blocks.saturating_sub(u64::from(burst_len)) + 1);
             for i in 0..u64::from(burst_len) {
                 let block = slot + start + i;

@@ -64,7 +64,10 @@ fn act2_figcache_engine() {
     let mut engine = FigCacheEngine::new(&dram, &FigCacheConfig::paper_fast(), 16);
 
     let miss = engine.on_request(0, 100, 5, false, None, 0);
-    println!("first access to row 100: served from row {} (cache hit: {})", miss.row, miss.cache_hit);
+    println!(
+        "first access to row 100: served from row {} (cache hit: {})",
+        miss.row, miss.cache_hit
+    );
     let mut job = engine.take_job(0, 0).expect("a relocation job was scheduled");
     let mut open = Some(100);
     while let Some(cmd) = job.peek(open, false) {
@@ -89,7 +92,11 @@ fn act3_end_to_end() {
     let mcf = profile_by_name("mcf").expect("mcf profile exists");
     let base = runner.run_single(&mcf, ConfigKind::Base);
     let fig = runner.run_single(&mcf, ConfigKind::FigCacheFast);
-    println!("Base          : IPC {:.4}, row-buffer hit rate {:.1}%", base.ipc[0], base.row_hit_rate * 100.0);
+    println!(
+        "Base          : IPC {:.4}, row-buffer hit rate {:.1}%",
+        base.ipc[0],
+        base.row_hit_rate * 100.0
+    );
     println!(
         "FIGCache-Fast : IPC {:.4}, row-buffer hit rate {:.1}%, cache hit rate {:.1}%, {} RELOCs",
         fig.ipc[0],

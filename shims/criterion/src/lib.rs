@@ -1,0 +1,216 @@
+//! Offline API-subset shim for the `criterion` crate.
+//!
+//! Provides just enough of criterion's surface for the `micro` bench
+//! target: [`Criterion`] with `bench_function`, [`Bencher`] with
+//! `iter`/`iter_batched`, [`BatchSize`], and the `criterion_group!` /
+//! `criterion_main!` macros (both the positional and the
+//! `name =`/`config =`/`targets =` forms). Instead of criterion's
+//! statistics engine it reports the min/mean/max of wall-clock sample
+//! times — honest numbers, no outlier analysis.
+//!
+//! Bench binaries built from this shim also understand being launched by
+//! `cargo test` (any `--test`-style flag in `argv`): they exit
+//! immediately so test runs stay fast.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// How per-iteration setup output is batched in `iter_batched`.
+/// The shim runs one setup per timed call regardless of the hint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target total measurement time per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before sampling.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            sample_size: self.sample_size,
+            samples_ns: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Times the closure a benchmark hands it.
+#[derive(Debug)]
+pub struct Bencher {
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    sample_size: usize,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Benchmarks `routine` called in a loop.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iter_batched(|| (), |()| routine(), BatchSize::SmallInput);
+    }
+
+    /// Benchmarks `routine` on fresh input from `setup` (setup untimed).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up: run untimed until the warm-up budget elapses.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        while Instant::now() < warm_deadline {
+            let input = setup();
+            std::hint::black_box(routine(input));
+        }
+        // Calibrate iterations per sample so one sample is ≥ ~100 µs.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            let once = t.elapsed();
+            if once >= Duration::from_micros(100) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 2;
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                std::hint::black_box(routine(input));
+            }
+            if t.elapsed() >= Duration::from_micros(100) {
+                break;
+            }
+        }
+        let deadline = Instant::now() + self.measurement_time;
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let inputs: Vec<I> = (0..iters_per_sample).map(|_| setup()).collect();
+            let t = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            self.samples_ns.push(t.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples_ns.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let n = self.samples_ns.len() as f64;
+        let mean = self.samples_ns.iter().sum::<f64>() / n;
+        let min = self.samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = self.samples_ns.iter().copied().fold(0.0_f64, f64::max);
+        let fmt = |ns: f64| {
+            if ns < 1_000.0 {
+                format!("{ns:.1} ns")
+            } else if ns < 1_000_000.0 {
+                format!("{:.2} µs", ns / 1_000.0)
+            } else {
+                format!("{:.2} ms", ns / 1_000_000.0)
+            }
+        };
+        println!(
+            "{name:<40} time: [{} {} {}]  ({} samples)",
+            fmt(min),
+            fmt(mean),
+            fmt(max),
+            self.samples_ns.len()
+        );
+    }
+}
+
+/// `true` when the binary was launched by `cargo test` rather than
+/// `cargo bench` (cargo passes `--test` and friends to bench targets).
+#[must_use]
+pub fn launched_as_test() -> bool {
+    std::env::args().any(|a| a == "--test" || a == "--list" || a == "--format")
+}
+
+/// Declares a benchmark group function, positional or `name/config/targets`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            $(
+                let mut c: $crate::Criterion = $config;
+                $target(&mut c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench `main` that runs each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if $crate::launched_as_test() {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}

@@ -1,19 +1,164 @@
-//! Cross-crate integration tests: full systems, paper-shape assertions.
+//! Cross-crate end-to-end tests, tiered by cost.
 //!
-//! These run at the `small` scale (the bench default): the paper-shape
-//! orderings they assert need cache warmup that the tiny scale does not
-//! provide. The suite takes a couple of minutes on a laptop.
+//! * `fast_tier` — deterministic `Scale::Tiny` smoke runs over the full
+//!   mechanism set, driven through the runner's parallel batch API.
+//!   These run by default and keep `cargo test -q` under a minute.
+//! * The remaining tests are the paper-shape assertions at
+//!   `Scale::Small`: they need cache warmup the tiny scale does not
+//!   provide and take a couple of minutes, so they are `#[ignore]`d by
+//!   default — run them with
+//!   `FIGARO_SLOW_TESTS=1 cargo test -q -- --include-ignored`.
 
-use figaro_sim::runner::Scale;
 use figaro_sim::{ConfigKind, Runner};
+use figaro_tests::{slow_guard, slow_tier_scale, SLOW_HINT};
 use figaro_workloads::{eight_core_mixes, profile_by_name, MixCategory};
 
 fn runner() -> Runner {
-    Runner::uncached(Scale::Small)
+    Runner::uncached(slow_tier_scale())
+}
+
+mod fast_tier {
+    //! Default-run smoke tests at `Scale::Tiny`: every mechanism builds,
+    //! runs, caches, and stays deterministic; the parallel batch runner
+    //! is bit-identical to the serial loop.
+
+    use std::sync::OnceLock;
+
+    use figaro_sim::runner::RunSummary;
+    use figaro_sim::{ConfigKind, Runner};
+    use figaro_tests::fast_tier_scale;
+    use figaro_workloads::{eight_core_mixes, profile_by_name, AppProfile, Mix, MixCategory};
+
+    fn all_kinds() -> Vec<ConfigKind> {
+        vec![
+            ConfigKind::Base,
+            ConfigKind::LisaVilla,
+            ConfigKind::FigCacheSlow,
+            ConfigKind::FigCacheFast,
+            ConfigKind::FigCacheIdeal,
+            ConfigKind::LlDram,
+        ]
+    }
+
+    /// `(apps, kinds, results[app][kind])` of the shared tiny matrix.
+    type TinyMatrix = (Vec<AppProfile>, Vec<ConfigKind>, Vec<Vec<RunSummary>>);
+
+    /// The shared tiny matrix: one intensive and one non-intensive app
+    /// across every mechanism, computed once per process through the
+    /// parallel batch API.
+    fn matrix() -> &'static TinyMatrix {
+        static MATRIX: OnceLock<TinyMatrix> = OnceLock::new();
+        MATRIX.get_or_init(|| {
+            let apps = vec![profile_by_name("mcf").unwrap(), profile_by_name("sjeng").unwrap()];
+            let kinds = all_kinds();
+            let runner = Runner::uncached(fast_tier_scale());
+            let m = runner.run_single_matrix(&apps, &kinds);
+            (apps, kinds, m)
+        })
+    }
+
+    /// The shared tiny mix smoke: one intensive mix under Base and
+    /// FIGCache-Fast.
+    fn mix_results() -> &'static (Mix, Vec<RunSummary>) {
+        static MIX: OnceLock<(Mix, Vec<RunSummary>)> = OnceLock::new();
+        MIX.get_or_init(|| {
+            let mix = eight_core_mixes()
+                .into_iter()
+                .find(|m| m.category == MixCategory::Intensive100)
+                .unwrap();
+            let runner = Runner::uncached(fast_tier_scale());
+            let jobs =
+                vec![(mix.clone(), ConfigKind::Base), (mix.clone(), ConfigKind::FigCacheFast)];
+            let r = runner.run_mix_batch(&jobs);
+            (mix, r)
+        })
+    }
+
+    #[test]
+    fn every_mechanism_completes_with_sane_outputs() {
+        let (apps, kinds, m) = matrix();
+        for (a, app) in apps.iter().enumerate() {
+            for (k, kind) in kinds.iter().enumerate() {
+                let s = &m[a][k];
+                let ctx = format!("{} under {}", app.name, kind.label());
+                assert!(s.ipc[0] > 0.0, "{ctx}: zero IPC");
+                assert!(s.cpu_cycles > 0, "{ctx}: zero cycles");
+                assert!(s.energy_total() > 0.0, "{ctx}: zero energy");
+                assert!(s.mpki[0].is_finite(), "{ctx}: bad MPKI");
+                assert!(
+                    (0.0..=1.0).contains(&s.row_hit_rate),
+                    "{ctx}: row hit rate {} out of range",
+                    s.row_hit_rate
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn figcache_inserts_and_relocates_at_tiny_scale() {
+        let (apps, kinds, m) = matrix();
+        let mcf = apps.iter().position(|p| p.name == "mcf").unwrap();
+        let fast = kinds.iter().position(|k| *k == ConfigKind::FigCacheFast).unwrap();
+        let s = &m[mcf][fast];
+        assert!(s.insertions > 0, "FIGCache-Fast must insert segments");
+        assert!(s.relocs > 0, "insertions must issue RELOC trains");
+        let base = kinds.iter().position(|k| *k == ConfigKind::Base).unwrap();
+        assert_eq!(m[mcf][base].relocs, 0, "Base must never relocate");
+        assert!(m[mcf][base].cache_hit_rate == 0.0, "Base has no in-DRAM cache");
+    }
+
+    #[test]
+    fn lisa_villa_issues_clones_at_tiny_scale() {
+        let (apps, kinds, m) = matrix();
+        let mcf = apps.iter().position(|p| p.name == "mcf").unwrap();
+        let lisa = kinds.iter().position(|k| *k == ConfigKind::LisaVilla).unwrap();
+        assert!(m[mcf][lisa].lisa_clones > 0, "LISA-VILLA must clone rows");
+        assert_eq!(m[mcf][lisa].relocs, 0, "LISA-VILLA never issues RELOC");
+    }
+
+    #[test]
+    fn parallel_matrix_is_bit_identical_to_serial() {
+        let (apps, kinds, m) = matrix();
+        let runner = Runner::uncached(fast_tier_scale());
+        // Spot-check the four corners against fresh serial runs.
+        for (a, k) in
+            [(0, 0), (0, kinds.len() - 1), (apps.len() - 1, 0), (apps.len() - 1, kinds.len() - 1)]
+        {
+            let serial = runner.run_single(&apps[a], kinds[k].clone());
+            assert_eq!(m[a][k], serial, "{} under {}", apps[a].name, kinds[k].label());
+        }
+    }
+
+    #[test]
+    fn tiny_runs_are_deterministic() {
+        let runner = Runner::uncached(fast_tier_scale());
+        let p = profile_by_name("grep").unwrap();
+        let a = runner.run_single(&p, ConfigKind::FigCacheFast);
+        let b = runner.run_single(&p, ConfigKind::FigCacheFast);
+        assert_eq!(a, b, "identical runs must be bit-identical");
+    }
+
+    #[test]
+    fn eight_core_mix_smoke_and_weighted_speedup_computable() {
+        let (mix, results) = mix_results();
+        let runner = Runner::uncached(fast_tier_scale());
+        let alone = runner.alone_ipc_batch(&mix.apps);
+        assert!(alone.iter().all(|&v| v > 0.0), "alone IPCs must be positive");
+        for s in results {
+            assert_eq!(s.ipc.len(), 8, "eight cores reported");
+            assert!(s.ipc.iter().all(|&v| v > 0.0));
+            let ws = figaro_sim::metrics::weighted_speedup(&s.ipc, &alone);
+            assert!(ws.is_finite() && ws > 0.0, "weighted speedup {ws} must be sane");
+        }
+    }
 }
 
 #[test]
+#[ignore = "slow paper-shape test: FIGARO_SLOW_TESTS=1 cargo test -- --include-ignored"]
 fn figcache_fast_beats_base_on_memory_intensive_apps() {
+    if !slow_guard("figcache_fast_beats_base_on_memory_intensive_apps") {
+        return;
+    }
     let r = runner();
     for name in ["mcf", "GemsFDTD"] {
         let p = profile_by_name(name).unwrap();
@@ -29,7 +174,11 @@ fn figcache_fast_beats_base_on_memory_intensive_apps() {
 }
 
 #[test]
+#[ignore = "slow paper-shape test: FIGARO_SLOW_TESTS=1 cargo test -- --include-ignored"]
 fn ideal_relocation_bounds_real_relocation() {
+    if !slow_guard("ideal_relocation_bounds_real_relocation") {
+        return;
+    }
     let r = runner();
     let p = profile_by_name("mcf").unwrap();
     let fast = r.run_single(&p, ConfigKind::FigCacheFast);
@@ -43,7 +192,11 @@ fn ideal_relocation_bounds_real_relocation() {
 }
 
 #[test]
+#[ignore = "slow paper-shape test: FIGARO_SLOW_TESTS=1 cargo test -- --include-ignored"]
 fn figcache_fast_beats_lisa_villa_on_intensive_apps() {
+    if !slow_guard("figcache_fast_beats_lisa_villa_on_intensive_apps") {
+        return;
+    }
     let r = runner();
     let p = profile_by_name("GemsFDTD").unwrap();
     let lisa = r.run_single(&p, ConfigKind::LisaVilla);
@@ -57,7 +210,11 @@ fn figcache_fast_beats_lisa_villa_on_intensive_apps() {
 }
 
 #[test]
+#[ignore = "slow paper-shape test: FIGARO_SLOW_TESTS=1 cargo test -- --include-ignored"]
 fn figcache_raises_row_buffer_hit_rate() {
+    if !slow_guard("figcache_raises_row_buffer_hit_rate") {
+        return;
+    }
     // Paper Fig. 10: the defining effect of segment co-location.
     let r = runner();
     let p = profile_by_name("mcf").unwrap();
@@ -72,7 +229,11 @@ fn figcache_raises_row_buffer_hit_rate() {
 }
 
 #[test]
+#[ignore = "slow paper-shape test: FIGARO_SLOW_TESTS=1 cargo test -- --include-ignored"]
 fn lisa_villa_does_not_change_row_hit_rate_much() {
+    if !slow_guard("lisa_villa_does_not_change_row_hit_rate_much") {
+        return;
+    }
     // Paper Sec 8.1: whole-row caching cannot improve row locality.
     let r = runner();
     let p = profile_by_name("mcf").unwrap();
@@ -87,10 +248,15 @@ fn lisa_villa_does_not_change_row_hit_rate_much() {
 }
 
 #[test]
+#[ignore = "slow paper-shape test: FIGARO_SLOW_TESTS=1 cargo test -- --include-ignored"]
 fn intensity_classification_matches_table2() {
+    if !slow_guard("intensity_classification_matches_table2") {
+        return;
+    }
     let r = runner();
-    for p in figaro_workloads::app_profiles() {
-        let s = r.run_single(&p, ConfigKind::Base);
+    let apps = figaro_workloads::app_profiles();
+    let jobs: Vec<_> = apps.iter().map(|p| (*p, ConfigKind::Base)).collect();
+    for (p, s) in apps.iter().zip(r.run_single_batch(&jobs)) {
         assert_eq!(
             s.mpki[0] > 10.0,
             p.memory_intensive,
@@ -102,13 +268,17 @@ fn intensity_classification_matches_table2() {
 }
 
 #[test]
+#[ignore = "slow paper-shape test: FIGARO_SLOW_TESTS=1 cargo test -- --include-ignored"]
 fn eight_core_mix_runs_and_figcache_wins_at_high_intensity() {
+    if !slow_guard("eight_core_mix_runs_and_figcache_wins_at_high_intensity") {
+        return;
+    }
     let r = runner();
     let mixes = eight_core_mixes();
     let mix = mixes.iter().find(|m| m.category == MixCategory::Intensive100).unwrap();
     let base = r.run_mix(mix, ConfigKind::Base);
     let fig = r.run_mix(mix, ConfigKind::FigCacheFast);
-    let alone: Vec<f64> = mix.apps.iter().map(|p| r.alone_ipc(p)).collect();
+    let alone = r.alone_ipc_batch(&mix.apps);
     let ws_base = figaro_sim::metrics::weighted_speedup(&base.ipc, &alone);
     let ws_fig = figaro_sim::metrics::weighted_speedup(&fig.ipc, &alone);
     assert!(
@@ -118,7 +288,11 @@ fn eight_core_mix_runs_and_figcache_wins_at_high_intensity() {
 }
 
 #[test]
+#[ignore = "slow paper-shape test: FIGARO_SLOW_TESTS=1 cargo test -- --include-ignored"]
 fn energy_breakdown_is_consistent() {
+    if !slow_guard("energy_breakdown_is_consistent") {
+        return;
+    }
     let r = runner();
     let p = profile_by_name("lbm").unwrap();
     let base = r.run_single(&p, ConfigKind::Base);
@@ -134,10 +308,21 @@ fn energy_breakdown_is_consistent() {
 }
 
 #[test]
-fn runs_are_deterministic() {
+#[ignore = "slow paper-shape test: FIGARO_SLOW_TESTS=1 cargo test -- --include-ignored"]
+fn small_scale_runs_are_deterministic() {
+    if !slow_guard("small_scale_runs_are_deterministic") {
+        return;
+    }
     let r = runner();
     let p = profile_by_name("grep").unwrap();
     let a = r.run_single(&p, ConfigKind::FigCacheFast);
     let b = r.run_single(&p, ConfigKind::FigCacheFast);
     assert_eq!(a, b, "identical runs must be bit-identical");
+}
+
+/// The `SLOW_HINT` constant and the `#[ignore]` messages must stay in
+/// sync — this is the only fast-tier use of the constant.
+#[test]
+fn slow_hint_matches_ignore_messages() {
+    assert!(SLOW_HINT.contains("FIGARO_SLOW_TESTS=1"));
 }

@@ -5,9 +5,7 @@
 use proptest::prelude::*;
 
 use figaro_core::{CacheEngine, FigCacheConfig, FigCacheEngine, NullEngine};
-use figaro_dram::{
-    BankAddr, DramChannel, DramCommand, DramConfig, PhysAddr, SubarrayLayout,
-};
+use figaro_dram::{BankAddr, DramChannel, DramCommand, DramConfig, PhysAddr, SubarrayLayout};
 use figaro_memctrl::{McConfig, MemoryController, Request};
 
 fn fig_dram() -> DramConfig {
@@ -170,9 +168,15 @@ fn refresh_storm_does_not_deadlock() {
     let mut completions = 0u64;
     let mut sent = 0u64;
     while now < 120_000 {
-        if now % 23 == 0 && mc.can_accept(false) {
+        if now.is_multiple_of(23) && mc.can_accept(false) {
             mc.enqueue(
-                Request { id: sent, addr: PhysAddr((sent * 977 % 100_000) * 64), is_write: false, core: 0, arrival: now },
+                Request {
+                    id: sent,
+                    addr: PhysAddr((sent * 977 % 100_000) * 64),
+                    is_write: false,
+                    core: 0,
+                    arrival: now,
+                },
                 now,
             );
             sent += 1;
@@ -205,7 +209,13 @@ fn write_queue_saturation_is_lossless() {
     while sent < 500 {
         if mc.can_accept(true) {
             mc.enqueue(
-                Request { id: sent, addr: PhysAddr((sent % 64) * 8192 * 16 + sent * 64), is_write: true, core: 0, arrival: now },
+                Request {
+                    id: sent,
+                    addr: PhysAddr((sent % 64) * 8192 * 16 + sent * 64),
+                    is_write: true,
+                    core: 0,
+                    arrival: now,
+                },
                 now,
             );
             sent += 1;

@@ -2,7 +2,7 @@
 //! engine × DRAM interplay, functional data movement under the timing
 //! engine, and the circuit/energy/area models' paper anchors.
 
-use figaro_core::{CacheEngine, FigCacheConfig, FigCacheEngine, LisaVillaConfig, LisaVillaEngine, NullEngine};
+use figaro_core::{FigCacheConfig, FigCacheEngine, LisaVillaConfig, LisaVillaEngine, NullEngine};
 use figaro_dram::{
     AddressMapping, BankAddr, DataStore, DramChannel, DramCommand, DramConfig, PhysAddr,
     SubarrayLayout, TimingParams,
@@ -45,7 +45,13 @@ fn controller_drives_full_relocation_and_redirects_hits() {
     // Re-access every block of the cached segment.
     for (i, col) in (0..16u64).enumerate() {
         mc.enqueue(
-            Request { id: 10 + i as u64, addr: PhysAddr(col * 64), is_write: false, core: 0, arrival: now },
+            Request {
+                id: 10 + i as u64,
+                addr: PhysAddr(col * 64),
+                is_write: false,
+                core: 0,
+                arrival: now,
+            },
             now,
         );
     }
@@ -63,7 +69,13 @@ fn relocation_concurrent_with_demand_to_other_subarrays() {
     let same_bank_other_subarray = 128 * 64 * 16 * 100u64; // row 100, bank 0
     mc.enqueue(Request { id: 1, addr: PhysAddr(0), is_write: false, core: 0, arrival: 0 }, 0);
     mc.enqueue(
-        Request { id: 2, addr: PhysAddr(same_bank_other_subarray), is_write: false, core: 0, arrival: 1 },
+        Request {
+            id: 2,
+            addr: PhysAddr(same_bank_other_subarray),
+            is_write: false,
+            core: 0,
+            arrival: 1,
+        },
         1,
     );
     let mut now = 1;
@@ -175,7 +187,10 @@ fn refresh_interacts_safely_with_relocation_traffic() {
             let addr = PhysAddr((id * 131) % (1 << 30) * 64);
             let loc = mapping.decode(addr);
             assert_eq!(loc.channel, 0);
-            mc.enqueue(Request { id, addr, is_write: id % 5 == 0, core: 0, arrival: now }, now);
+            mc.enqueue(
+                Request { id, addr, is_write: id.is_multiple_of(5), core: 0, arrival: now },
+                now,
+            );
             id += 1;
         }
         mc.tick(now);
@@ -192,7 +207,10 @@ fn null_engine_base_system_issues_no_figaro_commands() {
     let cfg = McConfig { enable_refresh: false, ..McConfig::default() };
     let mut mc = MemoryController::new(&dram, cfg, 0, Box::new(NullEngine::new()));
     for i in 0..32u64 {
-        mc.enqueue(Request { id: i, addr: PhysAddr(i * 8192 * 3), is_write: false, core: 0, arrival: 0 }, 0);
+        mc.enqueue(
+            Request { id: i, addr: PhysAddr(i * 8192 * 3), is_write: false, core: 0, arrival: 0 },
+            0,
+        );
     }
     drain(&mut mc, 0, 20_000);
     assert_eq!(mc.dram_stats().relocs, 0);
