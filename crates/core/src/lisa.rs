@@ -229,6 +229,10 @@ impl CacheEngine for LisaVillaEngine {
         !self.banks[bank as usize].pending.is_empty()
     }
 
+    fn has_any_pending_job(&self, banks: u32) -> bool {
+        self.banks.iter().take(banks as usize).any(|b| !b.pending.is_empty())
+    }
+
     fn on_job_complete(&mut self, bank: u32, job_id: u64, _now: Cycle) {
         let slot = self.banks[bank as usize]
             .in_flight

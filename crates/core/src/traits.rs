@@ -100,6 +100,14 @@ pub trait CacheEngine: std::fmt::Debug {
     /// Whether `bank` has a pending (not yet started) job.
     fn has_pending_job(&self, bank: u32) -> bool;
 
+    /// Whether **any** of the first `banks` banks has a pending job — one
+    /// virtual call instead of `banks` for schedulers that poll this per
+    /// cycle (the event kernel's horizon computation). Engines with a
+    /// cheaper aggregate check should override it.
+    fn has_any_pending_job(&self, banks: u32) -> bool {
+        (0..banks).any(|b| self.has_pending_job(b))
+    }
+
     /// Reports that job `job_id` on `bank` has finished all its commands.
     fn on_job_complete(&mut self, bank: u32, job_id: u64, now: Cycle);
 
@@ -142,6 +150,10 @@ impl CacheEngine for NullEngine {
     }
 
     fn has_pending_job(&self, _bank: u32) -> bool {
+        false
+    }
+
+    fn has_any_pending_job(&self, _banks: u32) -> bool {
         false
     }
 

@@ -68,6 +68,11 @@ struct Line {
 pub struct SetAssocCache {
     params: CacheParams,
     sets: u64,
+    /// `sets - 1`; sets are a power of two, so indexing is a mask/shift
+    /// instead of a runtime div/mod (this is the simulator's hottest
+    /// path).
+    set_mask: u64,
+    set_shift: u32,
     block_bits: u32,
     lines: Vec<Line>,
     clock: u64,
@@ -87,6 +92,8 @@ impl SetAssocCache {
         Self {
             params,
             sets,
+            set_mask: sets - 1,
+            set_shift: sets.trailing_zeros(),
             block_bits: params.block_bytes.trailing_zeros(),
             lines: vec![Line::default(); (sets * u64::from(params.ways)) as usize],
             clock: 0,
@@ -102,7 +109,7 @@ impl SetAssocCache {
 
     fn index(&self, addr: u64) -> (u64, u64) {
         let block = addr >> self.block_bits;
-        (block % self.sets, block / self.sets)
+        (block & self.set_mask, block >> self.set_shift)
     }
 
     fn set_lines(&mut self, set: u64) -> &mut [Line] {
@@ -131,6 +138,17 @@ impl SetAssocCache {
         }
         self.stats.misses += 1;
         false
+    }
+
+    /// Records `times` demand misses without touching line state: the
+    /// batched equivalent of `times` calls to [`SetAssocCache::access`]
+    /// on an absent block. The internal recency clock advances exactly as
+    /// it would have, so a cycle-skipping caller stays in lockstep with a
+    /// per-cycle one.
+    pub fn note_misses(&mut self, times: u64) {
+        self.clock += times;
+        self.stats.accesses += times;
+        self.stats.misses += times;
     }
 
     /// Checks presence without updating any state.
@@ -221,6 +239,24 @@ mod tests {
         assert!(c.probe(0));
         assert!(!c.probe(set_stride as u64));
         assert!(c.probe(2 * set_stride as u64));
+    }
+
+    #[test]
+    fn note_misses_matches_repeated_missing_accesses() {
+        let mut a = small();
+        let mut b = small();
+        a.fill(0x40, false);
+        b.fill(0x40, false);
+        for _ in 0..5 {
+            assert!(!a.access(0x1000, false));
+        }
+        b.note_misses(5);
+        assert_eq!(a.stats, b.stats);
+        // Recency clocks stayed in lockstep: the next fill picks the same
+        // victim stamps in both caches.
+        a.access(0x40, false);
+        b.access(0x40, false);
+        assert_eq!(a.stats, b.stats);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! window head); stores are posted. The window plus per-core MSHRs bound
 //! the memory-level parallelism.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use figaro_workloads::{Trace, TraceOp};
 
@@ -58,11 +58,20 @@ pub struct TraceCore {
     /// The memory op awaiting issue (set when its leading non-memory
     /// instructions have been consumed, or on a structural stall).
     pending_mem: Option<TraceOp>,
+    /// Whether the last attempt to issue `pending_mem` hit a structural
+    /// stall (MSHRs full). While the hierarchy state is unchanged the
+    /// retry is a fixed per-cycle counter bump, which is what lets
+    /// [`TraceCore::next_event_at`] classify the core as blocked and
+    /// [`TraceCore::skip_cycles`] batch the skipped cycles.
+    stalled: bool,
     /// ready-at times of window entries, indexed by `seq - head_seq`.
     window: VecDeque<u64>,
     head_seq: u64,
     tail_seq: u64,
-    token_seq: HashMap<u64, u64>,
+    /// Outstanding `(token, seq)` pairs for in-flight loads. A small
+    /// linear vector: occupancy is bounded by the in-flight loads (MSHRs
+    /// x merges), and this sits on the simulator's hottest path.
+    token_seq: Vec<(u64, u64)>,
     target_insts: u64,
     finished_at: Option<u64>,
     stats: CoreStats,
@@ -89,10 +98,11 @@ impl TraceCore {
             pos: 0,
             nonmem_left: 0,
             pending_mem: None,
+            stalled: false,
             window: VecDeque::with_capacity(params.window),
             head_seq: 0,
             tail_seq: 0,
-            token_seq: HashMap::new(),
+            token_seq: Vec::new(),
             target_insts,
             finished_at: None,
             stats: CoreStats::default(),
@@ -100,6 +110,7 @@ impl TraceCore {
     }
 
     /// Whether the core has retired its instruction target.
+    #[inline]
     #[must_use]
     pub fn finished(&self) -> bool {
         self.finished_at.is_some()
@@ -132,7 +143,8 @@ impl TraceCore {
     /// Delivers load data for `token` (from
     /// [`CacheHierarchy::on_completion`]) usable at cycle `ready_at`.
     pub fn wake(&mut self, token: u64, ready_at: u64) {
-        if let Some(seq) = self.token_seq.remove(&token) {
+        if let Some(i) = self.token_seq.iter().position(|&(t, _)| t == token) {
+            let (_, seq) = self.token_seq.swap_remove(i);
             if seq >= self.head_seq {
                 let idx = (seq - self.head_seq) as usize;
                 self.window[idx] = ready_at;
@@ -144,6 +156,90 @@ impl TraceCore {
         let op = self.trace.ops[self.pos];
         self.pos = (self.pos + 1) % self.trace.ops.len();
         op
+    }
+
+    /// Cycles after `now` over which ticking is a deterministic full-width
+    /// non-memory issue with no retirement — the batchable-active window
+    /// replayed by [`TraceCore::skip_cycles`]. Zero when the next tick
+    /// does anything else (retire, touch the hierarchy, fill the window).
+    fn batchable_issue_cycles(&self, now: u64) -> u64 {
+        let width = self.params.width as u64;
+        // No retirement until the head entry's data is ready.
+        let retire_k = match self.window.front() {
+            None | Some(&WAITING) => u64::MAX,
+            Some(&ready) => (ready.max(now) - now).saturating_sub(1),
+        };
+        let space_k = (self.params.window - self.window.len()) as u64 / width;
+        let nonmem_k = u64::from(self.nonmem_left) / width;
+        retire_k.min(space_k).min(nonmem_k)
+    }
+
+    /// The next CPU cycle strictly after `now` at which ticking this core
+    /// could do anything beyond the batchable per-cycle effects handled by
+    /// [`TraceCore::skip_cycles`] (blocked counters, or pure full-width
+    /// non-memory issue), assuming no intervening [`TraceCore::wake`].
+    /// `None` means the core is asleep until an external event: a wake, or
+    /// a hierarchy change that unblocks a stalled access. The event-driven
+    /// kernel re-evaluates after every event, so "assuming nothing
+    /// external happens" is exactly the skipped-interval invariant.
+    #[inline]
+    #[must_use]
+    pub fn next_event_at(&self, now: u64) -> Option<u64> {
+        if self.finished_at.is_some() {
+            return None;
+        }
+        let window_full = self.window.len() >= self.params.window;
+        // Issue side: the core makes progress next cycle unless the window
+        // is full or its pending memory op is a known structural stall.
+        if !window_full && (self.nonmem_left > 0 || self.pending_mem.is_none() || !self.stalled) {
+            return Some(now + 1 + self.batchable_issue_cycles(now));
+        }
+        // Retire side: the head entry's ready time, if data is en route.
+        match self.window.front() {
+            Some(&ready) if ready != WAITING => Some(ready.max(now + 1)),
+            _ => None,
+        }
+    }
+
+    /// Applies `cycles` skipped cycles (covering `now + 1 ..= now +
+    /// cycles`) in one step — the exact per-cycle effects of
+    /// [`TraceCore::tick`] over an interval in which every tick is
+    /// batchable: `window_full_cycles` while the window is full,
+    /// `stall_cycles` plus the hierarchy's per-retry miss counters while a
+    /// memory op stalls on full MSHRs, or full-width non-memory issue into
+    /// a window whose head is waiting on memory (entries are stamped with
+    /// their exact issue cycles).
+    ///
+    /// Callers must only skip intervals with no core event (see
+    /// [`TraceCore::next_event_at`]); a finished core ignores the call
+    /// just as its `tick` does.
+    pub fn skip_cycles(&mut self, now: u64, cycles: u64, hierarchy: &mut CacheHierarchy) {
+        if cycles == 0 || self.finished_at.is_some() {
+            return;
+        }
+        if self.window.len() >= self.params.window {
+            self.stats.window_full_cycles += cycles;
+        } else if self.stalled && self.nonmem_left == 0 {
+            debug_assert!(self.pending_mem.is_some(), "stalled without a pending op");
+            if let Some(op) = self.pending_mem {
+                self.stats.stall_cycles += cycles;
+                hierarchy.apply_stall_retries(self.id, op.addr, op.is_write, cycles);
+            }
+        } else {
+            // Batched full-width non-memory issue.
+            debug_assert!(
+                cycles <= self.batchable_issue_cycles(now),
+                "skip_cycles past the batchable-issue window"
+            );
+            let width = self.params.width as u64;
+            for i in 1..=cycles {
+                for _ in 0..self.params.width {
+                    self.window.push_back(now + i);
+                }
+            }
+            self.nonmem_left -= (width * cycles) as u32;
+            self.tail_seq += width * cycles;
+        }
     }
 
     /// Advances one CPU cycle: retires up to `width` ready instructions
@@ -198,21 +294,24 @@ impl TraceCore {
             };
             match hierarchy.access(self.id, op.addr, op.is_write, now) {
                 Access::Hit { ready_at } => {
+                    self.stalled = false;
                     self.stats.mem_ops += 1;
                     self.window.push_back(ready_at);
                     self.tail_seq += 1;
                     issued += 1;
                 }
                 Access::Pending { token } => {
+                    self.stalled = false;
                     self.stats.mem_ops += 1;
                     self.stats.long_loads += 1;
-                    self.token_seq.insert(token, self.tail_seq);
+                    self.token_seq.push((token, self.tail_seq));
                     self.window.push_back(WAITING);
                     self.tail_seq += 1;
                     issued += 1;
                 }
                 Access::Stall => {
                     self.pending_mem = Some(TraceOp { nonmem: 0, ..op });
+                    self.stalled = true;
                     self.stats.stall_cycles += 1;
                     break;
                 }
@@ -315,6 +414,42 @@ mod tests {
         let cycles = run(&mut core, &mut h, 100_000);
         let ipc = 3_000.0 / cycles as f64;
         assert!(ipc > 2.0, "posted stores should keep IPC near width, got {ipc}");
+    }
+
+    #[test]
+    fn next_event_at_is_never_in_the_past() {
+        // A mix of hits, long loads and window pressure: at every cycle the
+        // horizon must be strictly in the future (or absent), and a
+        // finished core must report no events.
+        let ops: Vec<TraceOp> =
+            (0..512).map(|i| TraceOp { nonmem: 2, addr: i * 64 * 131, is_write: false }).collect();
+        let mut h = CacheHierarchy::new(HierarchyConfig::paper_default(1), 1);
+        let mut core = TraceCore::new(0, CoreParams::paper_default(), tiny_trace(ops), 2_000);
+        let mut in_flight: Vec<(u64, u64)> = Vec::new();
+        for now in 0..200_000 {
+            core.tick(now, &mut h);
+            if let Some(t) = core.next_event_at(now) {
+                assert!(t > now, "horizon {t} at cycle {now} is not in the future");
+            }
+            for r in h.take_outgoing().collect::<Vec<_>>() {
+                if !r.is_write {
+                    in_flight.push((r.id, now + 80));
+                }
+            }
+            let due: Vec<u64> =
+                in_flight.iter().filter(|&&(_, d)| d <= now).map(|&(id, _)| id).collect();
+            in_flight.retain(|&(_, d)| d > now);
+            for id in due {
+                for token in h.on_completion(id) {
+                    core.wake(token, now + 4);
+                }
+            }
+            if core.finished() {
+                assert_eq!(core.next_event_at(now), None, "finished cores have no events");
+                return;
+            }
+        }
+        panic!("core did not finish");
     }
 
     #[test]

@@ -76,7 +76,7 @@ struct MshrEntry {
 }
 
 /// Aggregated hierarchy statistics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct HierarchyStats {
     /// Per-core L1 counters.
     pub l1: Vec<CacheStats>,
@@ -248,6 +248,45 @@ impl CacheHierarchy {
         entry.waiters
     }
 
+    /// Batched accounting for `cycles` consecutive retries of an access
+    /// that stalls on full MSHRs: the exact per-cycle side effects of
+    /// [`CacheHierarchy::access`] returning [`Access::Stall`] — an L1, L2
+    /// and LLC miss plus one MSHR-stall count per cycle — without walking
+    /// the lookup path each cycle. An event-driven system loop uses this
+    /// to skip over stalled intervals while keeping every counter (and
+    /// the caches' recency clocks) bit-identical to per-cycle ticking.
+    ///
+    /// Only valid while the hierarchy state is unchanged since the access
+    /// last stalled (no fills, no other accesses by this core), which is
+    /// exactly the skipped-interval invariant.
+    pub fn apply_stall_retries(&mut self, core: usize, addr: u64, is_write: bool, cycles: u64) {
+        let block = self.block_of(addr);
+        debug_assert!(
+            !self.l1[core].probe(block) && !self.l2[core].probe(block) && !self.llc.probe(block),
+            "stall retries require the block to miss every level"
+        );
+        debug_assert!(
+            !self.mshrs[core].contains_key(&block)
+                && self.mshrs[core].len() >= self.cfg.mshrs_per_core,
+            "stall retries require full MSHRs without a mergeable entry"
+        );
+        let _ = is_write; // misses count identically for loads and stores
+        self.l1[core].note_misses(cycles);
+        self.l2[core].note_misses(cycles);
+        self.llc.note_misses(cycles);
+        self.mshr_stalls += cycles;
+    }
+
+    /// The next CPU cycle strictly after `now` at which the hierarchy has
+    /// work for the system loop: the bus boundary that will route pending
+    /// outgoing requests toward the memory controllers. `None` when the
+    /// outbox is empty (fills and wakes are driven externally via
+    /// [`CacheHierarchy::on_completion`]).
+    #[must_use]
+    pub fn next_event_at(&self, now: u64, cpu_cycles_per_bus: u64) -> Option<u64> {
+        self.has_outgoing().then(|| (now / cpu_cycles_per_bus + 1) * cpu_cycles_per_bus)
+    }
+
     /// Drains fill/writeback requests headed to the memory controllers.
     pub fn take_outgoing(&mut self) -> std::collections::vec_deque::Drain<'_, Request> {
         self.outbox.drain(..)
@@ -322,6 +361,39 @@ mod tests {
         assert_eq!(h.stats().mshr_stalls, 1);
         // The other core has its own MSHRs.
         assert!(matches!(h.access(1, 99 * 0x10000, false, 0), Access::Pending { .. }));
+    }
+
+    #[test]
+    fn apply_stall_retries_matches_per_cycle_stalling_accesses() {
+        let mut a = hierarchy();
+        let mut b = hierarchy();
+        for h in [&mut a, &mut b] {
+            for i in 0..8u64 {
+                assert!(matches!(h.access(0, i * 0x10000, false, 0), Access::Pending { .. }));
+            }
+        }
+        let addr = 99 * 0x10000;
+        for now in 0..6u64 {
+            assert_eq!(a.access(0, addr, false, now), Access::Stall);
+        }
+        assert_eq!(b.access(0, addr, false, 0), Access::Stall);
+        b.apply_stall_retries(0, addr, false, 5);
+        assert_eq!(a.stats().mshr_stalls, b.stats().mshr_stalls);
+        assert_eq!(a.stats().l1[0], b.stats().l1[0]);
+        assert_eq!(a.stats().l2[0], b.stats().l2[0]);
+        assert_eq!(a.stats().llc, b.stats().llc);
+    }
+
+    #[test]
+    fn next_event_at_reflects_outbox_and_bus_alignment() {
+        let mut h = hierarchy();
+        assert_eq!(h.next_event_at(7, 4), None);
+        let Access::Pending { .. } = h.access(0, 0x9000, false, 0) else { panic!() };
+        // Pending outgoing request: routed at the next bus boundary.
+        assert_eq!(h.next_event_at(7, 4), Some(8));
+        assert_eq!(h.next_event_at(8, 4), Some(12), "a boundary routes only the next cycle over");
+        let _ = h.take_outgoing().count();
+        assert_eq!(h.next_event_at(7, 4), None);
     }
 
     #[test]

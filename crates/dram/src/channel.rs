@@ -372,6 +372,19 @@ impl DramChannel {
         e != ILLEGAL && e <= now
     }
 
+    /// Event-horizon form of [`DramChannel::earliest_issue`]: the earliest
+    /// cycle **no earlier than `from`** at which `cmd` could issue to `b`,
+    /// or `None` when the bank state makes the command illegal regardless
+    /// of time. Timing state only changes when commands issue, so the
+    /// returned cycle stays valid until the next [`DramChannel::issue`] on
+    /// the channel — this is what lets an event-driven scheduler sleep
+    /// until the horizon instead of re-polling every cycle.
+    #[must_use]
+    pub fn next_ready(&self, b: BankAddr, cmd: &DramCommand, from: Cycle) -> Option<Cycle> {
+        let e = self.earliest_issue(b, cmd, from);
+        (e != ILLEGAL).then(|| e.max(from))
+    }
+
     /// Duration of a LISA clone between the subarrays of `src_row` and
     /// `dst_row`: source restoration + one row-buffer-movement step per
     /// hop + destination settle + precharge. This is the
@@ -629,6 +642,18 @@ mod tests {
         assert!(c.can_issue(bank0(), &rd, 11));
         let out = c.issue(bank0(), &rd, 11);
         assert_eq!(out.completes_at, 11 + 11 + 4);
+    }
+
+    #[test]
+    fn next_ready_floors_at_from_and_maps_illegal_to_none() {
+        let mut c = channel();
+        let rd = DramCommand::Read { col: 0, auto_pre: false };
+        assert_eq!(c.next_ready(bank0(), &rd, 5), None, "closed bank cannot read");
+        c.issue(bank0(), &DramCommand::Activate { row: 7 }, 0);
+        // tRCD gates the read at 11; asking from an earlier cycle returns
+        // the constraint, asking from a later cycle returns `from` itself.
+        assert_eq!(c.next_ready(bank0(), &rd, 3), Some(11));
+        assert_eq!(c.next_ready(bank0(), &rd, 40), Some(40));
     }
 
     #[test]

@@ -8,6 +8,14 @@ use figaro_dram::{
 
 use crate::request::{Completion, Request};
 
+/// Whether the `FIGARO_FREE_RELOC` debug ablation is active. Read once
+/// per process (the controller consults it on the tick hot path and the
+/// event-horizon path, which must agree).
+fn free_reloc_mode() -> bool {
+    static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *MODE.get_or_init(|| std::env::var_os("FIGARO_FREE_RELOC").is_some())
+}
+
 /// Controller configuration (the paper's Table 1 values by default).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct McConfig {
@@ -109,6 +117,39 @@ struct Entry {
     saw_conflict: bool,
 }
 
+/// Per-bank aggregate of one queue for `queue_horizon`: DRAM timing for
+/// column commands is column-independent and for ACT/PRE row-independent
+/// (pinned banks excepted), so one `earliest_issue` per bank and command
+/// class covers every queued entry.
+#[derive(Debug, Clone, Copy)]
+struct BankAgg {
+    bank: BankAddr,
+    seen: bool,
+    /// The bank's open row, read once at first touch.
+    open: Option<RowId>,
+    /// Some entry's serve row is the open row (suppresses prep for the
+    /// whole bank, exactly like the prep scan's same-row check).
+    has_hit: bool,
+    read_hit: bool,
+    write_hit: bool,
+    /// Serve row of the first entry needing ACT/PRE, if any.
+    prep_row: Option<RowId>,
+}
+
+impl Default for BankAgg {
+    fn default() -> Self {
+        Self {
+            bank: BankAddr { rank: 0, bankgroup: 0, bank: 0 },
+            seen: false,
+            open: None,
+            has_hit: false,
+            read_hit: false,
+            write_hit: false,
+            prep_row: None,
+        }
+    }
+}
+
 /// One channel's memory controller. See the crate docs for the scheduling
 /// policy.
 #[derive(Debug)]
@@ -127,6 +168,15 @@ pub struct MemoryController {
     completions: Vec<Completion>,
     stats: McStats,
     monitor: Option<RowHammerMonitor>,
+    /// Scratch for `queue_horizon` (allocated once, reset per call).
+    bank_agg: Vec<BankAgg>,
+    agg_touched: Vec<u32>,
+    /// Scratch for `pending_start_horizon`'s per-bank demand flags.
+    demand_scratch: Vec<bool>,
+    /// Memoized event horizon (`None` = stale). Invalidated by every
+    /// [`MemoryController::tick`]; [`MemoryController::enqueue`] updates
+    /// it incrementally instead of recomputing the full scan.
+    horizon: Option<Option<Cycle>>,
 }
 
 impl MemoryController {
@@ -155,6 +205,10 @@ impl MemoryController {
             completions: Vec::new(),
             stats: McStats::default(),
             monitor: cfg.activation_window.map(RowHammerMonitor::new),
+            bank_agg: vec![BankAgg::default(); banks],
+            agg_touched: Vec::with_capacity(banks),
+            demand_scratch: vec![false; banks],
+            horizon: None,
         }
     }
 
@@ -197,6 +251,7 @@ impl MemoryController {
         if req.is_write {
             self.stats.enq_writes += 1;
             self.write_q.push(entry);
+            self.horizon_note_enqueue(&entry, now, true);
         } else {
             self.stats.enq_reads += 1;
             // Read-around-write forwarding: a queued write to the same
@@ -211,15 +266,97 @@ impl MemoryController {
                     addr: req.addr,
                     core: req.core,
                 });
+                // No queue/timing change, but the engine consult may have
+                // scheduled a job; the completion itself is surfaced by
+                // `next_event_at`'s drain check.
+                self.horizon_note_enqueue(&entry, now, false);
                 return;
             }
             self.read_q.push(entry);
+            self.horizon_note_enqueue(&entry, now, true);
+        }
+    }
+
+    /// The write-drain decision the next tick will make, given queue
+    /// lengths (the hysteresis flag itself only changes on ticks).
+    fn effective_serve_writes(&self, read_len: usize, write_len: usize) -> bool {
+        let drain = if write_len >= self.cfg.wq_high {
+            true
+        } else if write_len <= self.cfg.wq_low {
+            false
+        } else {
+            self.drain_writes
+        };
+        drain || (read_len == 0 && write_len > 0)
+    }
+
+    /// Folds a just-enqueued request into the memoized horizon instead of
+    /// invalidating it: the timing state is untouched by an enqueue, so
+    /// existing candidates keep their times and only the new entry (plus a
+    /// possibly just-scheduled relocation job) adds candidates. The added
+    /// candidate is conservative — suppression by same-row entries or
+    /// job setup can only defer the real action, and a too-early horizon
+    /// merely costs a no-op tick. A flip of the active serve queue changes
+    /// the candidate set wholesale, so that falls back to a recompute.
+    fn horizon_note_enqueue(&mut self, e: &Entry, now: Cycle, queued: bool) {
+        let Some(cached) = self.horizon else { return };
+        let mut cand = Cycle::MAX;
+        // The engine consult may have scheduled a pending relocation job.
+        if self.jobs[e.flat_bank as usize].is_none() && self.engine.has_pending_job(e.flat_bank) {
+            cand = now;
+        }
+        if queued {
+            let (r, w) = (self.read_q.len(), self.write_q.len());
+            let (r0, w0) = if e.req.is_write { (r, w - 1) } else { (r - 1, w) };
+            if self.effective_serve_writes(r0, w0) != self.effective_serve_writes(r, w) {
+                self.horizon = None;
+                return;
+            }
+            if e.req.is_write == self.effective_serve_writes(r, w) {
+                let open = self.channel.open_row(e.bank);
+                let cmd = if open == Some(e.serve_row) {
+                    if e.req.is_write {
+                        DramCommand::Write { col: e.serve_col, auto_pre: false }
+                    } else {
+                        DramCommand::Read { col: e.serve_col, auto_pre: false }
+                    }
+                } else if open.is_some() {
+                    DramCommand::Precharge
+                } else {
+                    DramCommand::Activate { row: e.serve_row }
+                };
+                match self.channel.next_ready(e.bank, &cmd, now) {
+                    Some(t) => cand = cand.min(t),
+                    // Illegal for now (pinned subarray, must-precharge):
+                    // recompute lazily.
+                    None => {
+                        self.horizon = None;
+                        return;
+                    }
+                }
+            }
+        }
+        if cand != Cycle::MAX {
+            self.horizon = Some(Some(cached.map_or(cand, |h| h.min(cand))));
         }
     }
 
     /// Takes all completions produced so far.
     pub fn drain_completions(&mut self) -> Vec<Completion> {
         std::mem::take(&mut self.completions)
+    }
+
+    /// Moves all completions into `out` (appended in production order),
+    /// keeping both buffers' capacity — the allocation-free form of
+    /// [`MemoryController::drain_completions`] for per-cycle callers.
+    pub fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
+        out.append(&mut self.completions);
+    }
+
+    /// Whether any completions await collection.
+    #[must_use]
+    pub fn has_completions(&self) -> bool {
+        !self.completions.is_empty()
     }
 
     /// True when no work remains (queues, active *and* pending relocation
@@ -292,6 +429,10 @@ impl MemoryController {
     /// Advances the controller by one bus cycle, issuing at most one DRAM
     /// command.
     pub fn tick(&mut self, now: Cycle) {
+        // Any tick may act, so the memoized horizon dies here. (An
+        // event-driven caller only ticks at or past the horizon, so this
+        // costs it exactly one recompute per action.)
+        self.horizon = None;
         // Fast path: nothing queued, no jobs, no refresh due.
         if self.read_q.is_empty()
             && self.write_q.is_empty()
@@ -324,7 +465,7 @@ impl MemoryController {
         // Debug ablation (FIGARO_FREE_RELOC=1): train commands cost no
         // command-bus slot; used to attribute overhead between bus
         // pressure and relocation latency.
-        if std::env::var_os("FIGARO_FREE_RELOC").is_some() {
+        if free_reloc_mode() {
             for _ in 0..16 {
                 if !self.try_issue_job_step(now, true) {
                     break;
@@ -356,6 +497,239 @@ impl MemoryController {
         // Priority 5: start pending jobs and try their first step.
         self.start_pending_jobs(now);
         let _ = self.try_issue_job_step(now, false);
+    }
+
+    /// Conservative event horizon: the earliest bus cycle `>= from` at
+    /// which [`MemoryController::tick`] could do anything observable —
+    /// issue a DRAM command, start or retire a relocation job, or
+    /// transition refresh state. `None` means the controller is idle and
+    /// (with refresh disabled) stays idle until new work is enqueued.
+    ///
+    /// The contract the event-driven system kernel relies on: every tick
+    /// strictly before the returned cycle is a **no-op** (the write-drain
+    /// hysteresis flag it recomputes is a pure function of the — frozen —
+    /// queue lengths, so deferring the recomputation is invisible). The
+    /// horizon may be *earlier* than the first real action, which only
+    /// costs a wasted no-op tick; it is never later. The horizon stays
+    /// valid until the controller next ticks at it or accepts an enqueue.
+    #[inline]
+    #[must_use]
+    pub fn next_event_at(&mut self, from: Cycle) -> Option<Cycle> {
+        // Completions awaiting collection: the caller must drain now (the
+        // forwarding path creates them without touching timing state, so
+        // the memoized horizon stays valid for afterwards).
+        if !self.completions.is_empty() {
+            return Some(from);
+        }
+        if let Some(h) = self.horizon {
+            return h.map(|t| t.max(from));
+        }
+        self.recompute_event_at(from)
+    }
+
+    /// Cold path of [`MemoryController::next_event_at`]: full scan.
+    fn recompute_event_at(&mut self, from: Cycle) -> Option<Cycle> {
+        let computed = self.compute_horizon(from);
+        self.horizon = Some(computed);
+        computed
+    }
+
+    /// The full horizon scan backing [`MemoryController::next_event_at`].
+    fn compute_horizon(&mut self, from: Cycle) -> Option<Cycle> {
+        let mut best = Cycle::MAX;
+        if self.cfg.enable_refresh && !self.refresh_pending {
+            best = best.min(self.next_refresh.max(from));
+        }
+        if self.refresh_pending {
+            // tick() routes straight to `progress_refresh` and returns.
+            best = best.min(self.refresh_horizon(from));
+            return (best != Cycle::MAX).then_some(best);
+        }
+        let any_job = self.jobs.iter().any(Option::is_some);
+        let any_pending = self.engine.has_any_pending_job(self.jobs.len() as u32);
+        if self.read_q.is_empty() && self.write_q.is_empty() && !any_job && !any_pending {
+            return (best != Cycle::MAX).then_some(best);
+        }
+        if free_reloc_mode() && (any_job || any_pending) {
+            // The debug ablation issues free train steps on every tick.
+            return Some(from);
+        }
+        // Write-drain hysteresis exactly as the next tick will compute it
+        // (queue lengths cannot change between events).
+        let serve_writes = self.effective_serve_writes(self.read_q.len(), self.write_q.len());
+        best = best.min(self.queue_horizon(serve_writes, from));
+        if any_job {
+            best = best.min(self.job_step_horizon(from));
+        }
+        if any_pending {
+            best = best.min(self.pending_start_horizon(from));
+        }
+        (best != Cycle::MAX).then_some(best)
+    }
+
+    /// Event horizon of `progress_refresh`: active-job wind-down first,
+    /// then the first open bank's precharge (scan order, matching the
+    /// one-bank-per-tick drain), then the refresh command itself.
+    fn refresh_horizon(&self, from: Cycle) -> Cycle {
+        if self.jobs.iter().any(Option::is_some) {
+            return self.job_step_horizon(from);
+        }
+        let g = *self.mapping.geometry();
+        for rank in 0..g.ranks {
+            for bg in 0..g.bankgroups {
+                for b in 0..g.banks_per_group {
+                    let bank = BankAddr { rank, bankgroup: bg, bank: b };
+                    if self.channel.open_row(bank).is_some() || self.channel.must_precharge(bank) {
+                        return self
+                            .channel
+                            .next_ready(bank, &DramCommand::Precharge, from)
+                            .unwrap_or(Cycle::MAX);
+                    }
+                }
+            }
+        }
+        let bank = BankAddr { rank: 0, bankgroup: 0, bank: 0 };
+        self.channel.next_ready(bank, &DramCommand::Refresh, from).unwrap_or(Cycle::MAX)
+    }
+
+    /// Earliest cycle at which any active job's next command could issue
+    /// (covers `try_issue_job_step` in both its trains-only and full
+    /// forms — the priority split affects *which* action fires, not when
+    /// the first one can).
+    fn job_step_horizon(&self, from: Cycle) -> Cycle {
+        let mut best = Cycle::MAX;
+        for bank_idx in 0..self.jobs.len() {
+            let Some(job) = self.jobs[bank_idx] else { continue };
+            let bank = self.bank_addr_of(bank_idx as u32);
+            let open = self.channel.open_row(bank);
+            let must_pre = self.channel.must_precharge(bank);
+            match job.peek(open, must_pre) {
+                // Defensive retire path in `try_issue_job_step`.
+                None => best = best.min(from),
+                Some(cmd) => {
+                    if let Some(t) = self.channel.next_ready(bank, &cmd, from) {
+                        best = best.min(t);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// Earliest cycle at which the active queue could make progress: the
+    /// union of `try_issue_row_hit` (column command on the open row) and
+    /// `try_issue_demand_prep` (ACT/PRE under its skip conditions).
+    ///
+    /// One pass aggregates the queue per bank, then one `earliest_issue`
+    /// per bank and command class covers every entry: READ/WRITE timing is
+    /// column-independent, ACT/PRE timing row-independent — except on a
+    /// pinned bank, where ACT legality depends on the target subarray and
+    /// the entries are re-walked individually (rare).
+    fn queue_horizon(&mut self, serve_writes: bool, from: Cycle) -> Cycle {
+        let queue = if serve_writes { &self.write_q } else { &self.read_q };
+        if queue.is_empty() {
+            return Cycle::MAX;
+        }
+        for &b in &self.agg_touched {
+            self.bank_agg[b as usize] = BankAgg::default();
+        }
+        self.agg_touched.clear();
+        for e in queue {
+            let agg = &mut self.bank_agg[e.flat_bank as usize];
+            if !agg.seen {
+                agg.seen = true;
+                agg.bank = e.bank;
+                agg.open = self.channel.open_row(e.bank);
+                self.agg_touched.push(e.flat_bank);
+            }
+            if agg.open == Some(e.serve_row) {
+                agg.has_hit = true;
+                if e.req.is_write {
+                    agg.write_hit = true;
+                } else {
+                    agg.read_hit = true;
+                }
+            } else if agg.prep_row.is_none() {
+                agg.prep_row = Some(e.serve_row);
+            }
+        }
+        let mut best = Cycle::MAX;
+        for &b in &self.agg_touched {
+            let agg = self.bank_agg[b as usize];
+            if agg.has_hit {
+                // Row-hit candidates; a must-precharge bank serves nothing
+                // (and its same-row entries suppress prep regardless).
+                if !self.channel.must_precharge(agg.bank) {
+                    if agg.read_hit {
+                        let rd = DramCommand::Read { col: 0, auto_pre: false };
+                        if let Some(t) = self.channel.next_ready(agg.bank, &rd, from) {
+                            best = best.min(t);
+                        }
+                    }
+                    if agg.write_hit {
+                        let wr = DramCommand::Write { col: 0, auto_pre: false };
+                        if let Some(t) = self.channel.next_ready(agg.bank, &wr, from) {
+                            best = best.min(t);
+                        }
+                    }
+                }
+                // An entry that can still hit the open row suppresses the
+                // prep scan for every conflicting entry on this bank.
+                continue;
+            }
+            let Some(prep_row) = agg.prep_row else { continue };
+            let pinned = self.channel.is_pinned(agg.bank);
+            if self.jobs[b as usize].is_some() && !pinned {
+                continue; // the bank belongs to a job still setting up
+            }
+            if agg.open.is_some() {
+                if let Some(t) = self.channel.next_ready(agg.bank, &DramCommand::Precharge, from) {
+                    best = best.min(t);
+                }
+            } else if !pinned {
+                let act = DramCommand::Activate { row: prep_row };
+                if let Some(t) = self.channel.next_ready(agg.bank, &act, from) {
+                    best = best.min(t);
+                }
+            } else {
+                // Pinned + closed: ACT legality is per-subarray, so check
+                // each of this bank's entries.
+                let queue = if serve_writes { &self.write_q } else { &self.read_q };
+                for e in queue.iter().filter(|e| e.flat_bank == b) {
+                    let act = DramCommand::Activate { row: e.serve_row };
+                    if let Some(t) = self.channel.next_ready(agg.bank, &act, from) {
+                        best = best.min(t);
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// `from` when `start_pending_jobs` would hand a pending job to a bank
+    /// on its next opportunity, [`Cycle::MAX`] otherwise (the gating state
+    /// — open rows and queued demand — only changes at events). One pass
+    /// over the queues marks per-bank demand, so the scan is
+    /// O(queue + banks) rather than O(queue x banks).
+    fn pending_start_horizon(&mut self, from: Cycle) -> Cycle {
+        self.demand_scratch.fill(false);
+        for e in self.read_q.iter().chain(self.write_q.iter()) {
+            self.demand_scratch[e.flat_bank as usize] = true;
+        }
+        for bank_idx in 0..self.jobs.len() {
+            if self.jobs[bank_idx].is_some() || !self.engine.has_pending_job(bank_idx as u32) {
+                continue;
+            }
+            let bank = bank_idx as u32;
+            let cheap = self
+                .engine
+                .next_job_source(bank)
+                .is_some_and(|src| self.channel.open_row(self.bank_addr_of(bank)) == Some(src));
+            if cheap || !self.demand_scratch[bank_idx] {
+                return from;
+            }
+        }
+        Cycle::MAX
     }
 
     fn progress_refresh(&mut self, now: Cycle) {
@@ -789,6 +1163,70 @@ mod tests {
         let _ = run_until_completions(&mut mc, 0, 1, 1000);
         let mon = mc.activation_monitor().unwrap();
         assert_eq!(mon.total_acts(), 1);
+    }
+
+    #[test]
+    fn drain_completions_into_appends_and_keeps_buffers() {
+        let mut mc = base_mc(false);
+        mc.enqueue(read(1, 0, 0), 0);
+        let mut t = 0;
+        while !mc.has_completions() && t < 1000 {
+            mc.tick(t);
+            t += 1;
+        }
+        assert!(mc.has_completions());
+        let mut out = vec![Completion { id: 99, done_at: 0, addr: PhysAddr(0), core: 0 }];
+        mc.drain_completions_into(&mut out);
+        assert_eq!(out.len(), 2, "append preserves existing elements");
+        assert_eq!(out[1].id, 1);
+        assert!(!mc.has_completions());
+    }
+
+    #[test]
+    fn next_event_at_is_never_in_the_past_and_skipped_ticks_are_noops() {
+        // A FIGCache controller with refresh enabled exercises every event
+        // source: demand queues, relocation jobs, and refresh transitions.
+        let dram = DramConfig {
+            layout: SubarrayLayout::homogeneous(64, 512).with_appended_fast(2, 32),
+            ..DramConfig::ddr4_paper_default()
+        };
+        let engine = FigCacheEngine::new(&dram, &FigCacheConfig::paper_fast(), 16);
+        let cfg = McConfig::default();
+        let mut mc = MemoryController::new(&dram, cfg, 0, Box::new(engine));
+        let snapshot = |mc: &MemoryController| {
+            (
+                *mc.stats(),
+                *mc.dram_stats(),
+                mc.engine_stats(),
+                mc.read_queue_len(),
+                mc.write_queue_len(),
+            )
+        };
+        let mut id = 0u64;
+        for t in 0..30_000u64 {
+            if t.is_multiple_of(37) && mc.can_accept(false) {
+                mc.enqueue(read(id, (id * 7919) % 4096 * 64, t), t);
+                id += 1;
+            }
+            if t.is_multiple_of(151) && mc.can_accept(true) {
+                mc.enqueue(write(id, (id * 104_729) % 4096 * 64, t), t);
+                id += 1;
+            }
+            let horizon = mc.next_event_at(t);
+            if let Some(h) = horizon {
+                assert!(h >= t, "horizon {h} at bus cycle {t} lies in the past");
+            }
+            let before = snapshot(&mc);
+            mc.tick(t);
+            let drained = mc.drain_completions().len();
+            if horizon.is_none_or(|h| h > t) {
+                assert_eq!(snapshot(&mc), before, "tick before the horizon acted at {t}");
+                assert_eq!(drained, 0, "tick before the horizon completed a request at {t}");
+            }
+        }
+        assert!(mc.stats().reads_served > 100, "the workload must exercise the controller");
+        assert!(mc.dram_stats().refreshes > 0, "refresh must fire during the run");
+        assert!(mc.dram_stats().relocs > 0, "relocation jobs must run");
     }
 
     #[test]

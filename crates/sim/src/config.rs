@@ -8,6 +8,58 @@ use figaro_cpu::{CoreParams, HierarchyConfig};
 use figaro_dram::{DramConfig, SubarrayLayout};
 use figaro_memctrl::McConfig;
 
+/// Which simulation kernel drives [`crate::System::run`].
+///
+/// Both kernels produce **bit-identical** [`crate::RunStats`]; the event
+/// kernel is the production default and the reference kernel exists as
+/// the equivalence oracle (and for debugging the event kernel itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Kernel {
+    /// The original per-cycle loop: tick every component every CPU cycle.
+    Reference,
+    /// Next-event time skipping: advance the clock straight to the
+    /// earliest component horizon, batching the skipped interval into the
+    /// per-cycle stall counters.
+    #[default]
+    Event,
+}
+
+impl Kernel {
+    /// Reads `FIGARO_KERNEL` (`event` | `reference`/`ref`), defaulting to
+    /// [`Kernel::Event`] when unset. The variable is read once per
+    /// process ([`SystemConfig::paper`] sits on system-construction
+    /// paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized value: this selector exists to pick the
+    /// equivalence oracle, so a typo must fail loudly rather than
+    /// silently run the kernel under suspicion.
+    #[must_use]
+    pub fn from_env() -> Self {
+        static KERNEL: std::sync::OnceLock<Kernel> = std::sync::OnceLock::new();
+        *KERNEL.get_or_init(|| {
+            let raw = std::env::var("FIGARO_KERNEL").unwrap_or_default();
+            match raw.to_lowercase().as_str() {
+                "" | "event" => Kernel::Event,
+                "reference" | "ref" => Kernel::Reference,
+                other => {
+                    panic!("unrecognized FIGARO_KERNEL `{other}` (use `event` or `reference`)")
+                }
+            }
+        })
+    }
+
+    /// Label for reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            Kernel::Reference => "reference",
+            Kernel::Event => "event",
+        }
+    }
+}
+
 /// Which in-DRAM mechanism a system uses (paper Section 8 names).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ConfigKind {
@@ -72,6 +124,8 @@ pub struct SystemConfig {
     pub mc: McConfig,
     /// CPU cycles per DRAM bus cycle (3.2 GHz / 800 MHz = 4).
     pub cpu_cycles_per_bus: u64,
+    /// Simulation kernel driving the clock (see [`Kernel`]).
+    pub kernel: Kernel,
 }
 
 impl SystemConfig {
@@ -87,6 +141,7 @@ impl SystemConfig {
             hierarchy: HierarchyConfig::paper_default(cores),
             mc: McConfig::default(),
             cpu_cycles_per_bus: 4,
+            kernel: Kernel::from_env(),
         }
     }
 
@@ -178,6 +233,13 @@ impl SystemConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn kernel_defaults_to_event() {
+        assert_eq!(Kernel::default(), Kernel::Event);
+        assert_eq!(Kernel::Event.label(), "event");
+        assert_eq!(Kernel::Reference.label(), "reference");
+    }
 
     #[test]
     fn paper_config_channel_rule() {

@@ -46,7 +46,7 @@ pub mod report;
 pub mod runner;
 pub mod system;
 
-pub use config::{ConfigKind, SystemConfig};
+pub use config::{ConfigKind, Kernel, SystemConfig};
 pub use metrics::RunStats;
 pub use runner::{Runner, Scale};
 pub use system::System;

@@ -7,7 +7,11 @@ use figaro_energy::SystemEnergyBreakdown;
 use figaro_memctrl::McStats;
 
 /// Everything a finished simulation reports.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq` compares every counter and energy figure bit-for-bit; the
+/// kernel-equivalence suite relies on this to prove [`crate::Kernel::Event`]
+/// and [`crate::Kernel::Reference`] runs indistinguishable.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunStats {
     /// CPU cycles the run took (until the last core finished).
     pub cpu_cycles: u64,

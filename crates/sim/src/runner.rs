@@ -25,7 +25,7 @@ use rayon::prelude::*;
 
 use figaro_workloads::{generate_trace, AppProfile, Mix, Trace, TraceOp};
 
-use crate::config::{ConfigKind, SystemConfig};
+use crate::config::{ConfigKind, Kernel, SystemConfig};
 use crate::metrics::RunStats;
 use crate::system::System;
 
@@ -192,6 +192,21 @@ impl RunSummary {
     }
 }
 
+/// Instruction target for the idle companion cores of an alone-IPC run.
+pub const IDLE_COMPANION_TARGET: u64 = 1_000;
+
+/// The idle-companion trace used by alone-IPC measurements (the
+/// weighted-speedup denominators; see [`Runner::alone_ipc`] and the
+/// `sim_kernel` bench): a pure non-memory loop whose tiny instruction
+/// target retires immediately and never touches memory.
+#[must_use]
+pub fn idle_companion_trace() -> Trace {
+    Trace {
+        name: "idle".into(),
+        ops: vec![TraceOp { nonmem: 1_000_000, addr: 0, is_write: false }],
+    }
+}
+
 /// Deterministic per-run trace seed.
 fn seed_for(app: &str, core: usize) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -222,37 +237,72 @@ fn insts_for(profile: &AppProfile, scale: Scale) -> u64 {
 #[derive(Debug)]
 pub struct Runner {
     scale: Scale,
+    kernel: Kernel,
     cache_dir: Option<PathBuf>,
 }
 
 impl Runner {
-    /// A runner at `scale` with the on-disk result cache enabled.
+    /// A runner at `scale` with the on-disk result cache enabled and the
+    /// kernel selected by `FIGARO_KERNEL` (default: event-driven).
     #[must_use]
     pub fn new(scale: Scale) -> Self {
         let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
             .ancestors()
             .nth(2)
             .map(|ws| ws.join("target").join("figaro-cache"));
-        Self { scale, cache_dir: dir }
+        Self { scale, kernel: Kernel::from_env(), cache_dir: dir }
     }
 
     /// A runner without the on-disk cache (tests).
     #[must_use]
     pub fn uncached(scale: Scale) -> Self {
-        Self { scale, cache_dir: None }
+        Self { scale, kernel: Kernel::from_env(), cache_dir: None }
     }
 
     /// A runner with the result cache at an explicit directory (tests,
     /// tooling that wants an isolated cache).
     #[must_use]
     pub fn with_cache_dir(scale: Scale, dir: PathBuf) -> Self {
-        Self { scale, cache_dir: Some(dir) }
+        Self { scale, kernel: Kernel::from_env(), cache_dir: Some(dir) }
+    }
+
+    /// Pins the simulation kernel for every run this runner launches
+    /// (serial and batch alike). Event-kernel results are bit-identical
+    /// to the reference, so they share the canonical cache keys;
+    /// reference runs get their own keys (see [`Runner::kernel_suffix`])
+    /// so the oracle really executes when asked for.
+    #[must_use]
+    pub fn with_kernel(mut self, kernel: Kernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Cache-key suffix for the non-default kernel. Without it, a
+    /// cross-check run under `FIGARO_KERNEL=reference` could silently
+    /// return a cached event-kernel result instead of exercising the
+    /// per-cycle oracle.
+    fn kernel_suffix(&self) -> &'static str {
+        match self.kernel {
+            Kernel::Event => "",
+            Kernel::Reference => "-refkernel",
+        }
     }
 
     /// The runner's scale.
     #[must_use]
     pub fn scale(&self) -> Scale {
         self.scale
+    }
+
+    /// The simulation kernel this runner uses.
+    #[must_use]
+    pub fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    /// A [`SystemConfig::paper`] system with this runner's kernel.
+    fn system_config(&self, cores: usize, kind: ConfigKind) -> SystemConfig {
+        SystemConfig { kernel: self.kernel, ..SystemConfig::paper(cores, kind) }
     }
 
     /// The process-wide per-cache-file lock: concurrent batch workers
@@ -309,11 +359,17 @@ impl Runner {
 
     /// Runs one application on the single-core system under `kind`.
     pub fn run_single(&self, profile: &AppProfile, kind: ConfigKind) -> RunSummary {
-        let key = format!("{}-1core-{}-{}", self.scale.label(), profile.name, config_key(&kind));
+        let key = format!(
+            "{}-1core-{}-{}{}",
+            self.scale.label(),
+            profile.name,
+            config_key(&kind),
+            self.kernel_suffix()
+        );
         let insts = insts_for(profile, self.scale);
         let trace = self.trace_for(profile, 0);
+        let cfg = self.system_config(1, kind);
         self.cached(&key, move || {
-            let cfg = SystemConfig::paper(1, kind);
             let mut sys = System::new(cfg, vec![trace], &[insts]);
             RunSummary::from_stats(&sys.run(insts * 400))
         })
@@ -321,13 +377,19 @@ impl Runner {
 
     /// Runs an eight-application mix under `kind`.
     pub fn run_mix(&self, mix: &Mix, kind: ConfigKind) -> RunSummary {
-        let key = format!("{}-8core-{}-{}", self.scale.label(), mix.name, config_key(&kind));
+        let key = format!(
+            "{}-8core-{}-{}{}",
+            self.scale.label(),
+            mix.name,
+            config_key(&kind),
+            self.kernel_suffix()
+        );
         let targets: Vec<u64> = mix.apps.iter().map(|p| insts_for(p, self.scale)).collect();
         let max_cycles = targets.iter().max().copied().unwrap_or(1) * 400;
         let traces: Vec<Trace> =
             mix.apps.iter().enumerate().map(|(i, p)| self.trace_for(p, i)).collect();
+        let cfg = self.system_config(8, kind);
         self.cached(&key, move || {
-            let cfg = SystemConfig::paper(8, kind);
             let mut sys = System::new(cfg, traces, &targets);
             RunSummary::from_stats(&sys.run(max_cycles))
         })
@@ -337,11 +399,17 @@ impl Runner {
     /// a footprint (different seeds ⇒ different interleavings of the same
     /// address space).
     pub fn run_multithreaded(&self, profile: &AppProfile, kind: ConfigKind) -> RunSummary {
-        let key = format!("{}-8mt-{}-{}", self.scale.label(), profile.name, config_key(&kind));
+        let key = format!(
+            "{}-8mt-{}-{}{}",
+            self.scale.label(),
+            profile.name,
+            config_key(&kind),
+            self.kernel_suffix()
+        );
         let insts = insts_for(profile, self.scale);
         let traces: Vec<Trace> = (0..8).map(|i| self.trace_for(profile, i)).collect();
+        let cfg = self.system_config(8, kind);
         self.cached(&key, move || {
-            let cfg = SystemConfig::paper(8, kind);
             let mut sys = System::new(cfg, traces, &[insts; 8]);
             RunSummary::from_stats(&sys.run(insts * 400))
         })
@@ -350,23 +418,18 @@ impl Runner {
     /// IPC of `profile` running **alone** on the eight-core Base system
     /// (the denominator of weighted speedup).
     pub fn alone_ipc(&self, profile: &AppProfile) -> f64 {
-        let key = format!("{}-alone-{}", self.scale.label(), profile.name);
+        let key = format!("{}-alone-{}{}", self.scale.label(), profile.name, self.kernel_suffix());
         let insts = insts_for(profile, self.scale);
         let trace = self.trace_for(profile, 0);
+        let cfg = self.system_config(8, ConfigKind::Base);
         let summary = self.cached(&key, move || {
-            let cfg = SystemConfig::paper(8, ConfigKind::Base);
             let mut traces = vec![trace];
-            // Seven idle cores: a pure non-memory trace with a tiny
-            // instruction target retires immediately and never touches
-            // memory.
+            // Seven idle companion cores.
             for _ in 1..8 {
-                traces.push(Trace {
-                    name: "idle".into(),
-                    ops: vec![TraceOp { nonmem: 1_000_000, addr: 0, is_write: false }],
-                });
+                traces.push(idle_companion_trace());
             }
             let mut targets = vec![insts];
-            targets.extend([1_000u64; 7]);
+            targets.extend([IDLE_COMPANION_TARGET; 7]);
             let mut sys = System::new(cfg, traces, &targets);
             RunSummary::from_stats(&sys.run(insts * 400))
         });

@@ -1,14 +1,31 @@
-//! The assembled full system and its clock loop.
+//! The assembled full system and its clock loop(s).
+//!
+//! Two kernels drive the same component models (see [`Kernel`]):
+//!
+//! * [`Kernel::Reference`] ticks every core, the hierarchy router and
+//!   every memory controller on every CPU/bus cycle — simple, and the
+//!   equivalence oracle;
+//! * [`Kernel::Event`] executes exactly the same per-cycle step, but only
+//!   at cycles where some component can act. Between events it advances
+//!   the clock straight to the minimum component horizon
+//!   (`next_event_at` on cores, hierarchy and controllers) and batches
+//!   the skipped interval into the per-cycle blocked counters
+//!   (`window_full_cycles`, `stall_cycles`, MSHR-stall retry misses), so
+//!   the resulting [`RunStats`] are **bit-identical** to the reference.
+//!
+//! The invariant that makes this sound: between two executed steps no
+//! component state changes except the batched counters, and every
+//! component horizon is a lower bound on its next state change.
 
 use std::collections::VecDeque;
 
 use figaro_cpu::{CacheHierarchy, TraceCore};
 use figaro_dram::AddressMapping;
 use figaro_energy::{DramEnergyModel, SystemActivity, SystemEnergyModel};
-use figaro_memctrl::{MemoryController, Request};
+use figaro_memctrl::{Completion, MemoryController, Request};
 use figaro_workloads::Trace;
 
-use crate::config::SystemConfig;
+use crate::config::{Kernel, SystemConfig};
 use crate::metrics::RunStats;
 
 /// One runnable system: cores + hierarchy + per-channel controllers.
@@ -21,6 +38,13 @@ pub struct System {
     mapping: AddressMapping,
     /// Requests that found a full controller queue, per channel.
     backlog: Vec<VecDeque<Request>>,
+    /// Total entries across `backlog` (early-out for the router).
+    backlog_len: usize,
+    /// Reused completion scratch buffer (no per-bus-cycle allocation).
+    completion_buf: Vec<Completion>,
+    /// `log2(cpu_cycles_per_bus)` when it is a power of two: boundary
+    /// checks then use mask/shift instead of a runtime div (hot path).
+    bus_shift: Option<u32>,
     cpu_cycle: u64,
 }
 
@@ -50,6 +74,10 @@ impl System {
             .map(|(i, (t, &target))| TraceCore::new(i, cfg.core, t, target))
             .collect();
         let channels = cfg.channels as usize;
+        let bus_shift = cfg
+            .cpu_cycles_per_bus
+            .is_power_of_two()
+            .then(|| cfg.cpu_cycles_per_bus.trailing_zeros());
         Self {
             cfg,
             cores,
@@ -57,6 +85,9 @@ impl System {
             mcs,
             mapping,
             backlog: vec![VecDeque::new(); channels],
+            backlog_len: 0,
+            completion_buf: Vec::new(),
+            bus_shift,
             cpu_cycle: 0,
         }
     }
@@ -73,13 +104,18 @@ impl System {
             for req in self.hierarchy.take_outgoing() {
                 let ch = self.mapping.decode(req.addr).channel as usize;
                 self.backlog[ch].push_back(req);
+                self.backlog_len += 1;
             }
+        }
+        if self.backlog_len == 0 {
+            return;
         }
         // ...which drains in order while the controller accepts.
         for (ch, q) in self.backlog.iter_mut().enumerate() {
             while let Some(front) = q.front() {
                 if self.mcs[ch].can_accept(front.is_write) {
                     let mut req = q.pop_front().expect("front exists");
+                    self.backlog_len -= 1;
                     req.arrival = bus;
                     self.mcs[ch].enqueue(req, bus);
                 } else {
@@ -89,33 +125,175 @@ impl System {
         }
     }
 
-    /// Runs until every core finishes or `max_cpu_cycles` elapse; returns
-    /// the collected statistics.
-    pub fn run(&mut self, max_cpu_cycles: u64) -> RunStats {
-        let per_bus = self.cfg.cpu_cycles_per_bus;
-        let fill_latency = u64::from(self.cfg.hierarchy.fill_latency);
-        while self.cores.iter().any(|c| !c.finished()) && self.cpu_cycle < max_cpu_cycles {
-            let now = self.cpu_cycle;
-            if now.is_multiple_of(per_bus) {
-                let bus = now / per_bus;
-                self.route_requests(bus);
-                for mc in &mut self.mcs {
+    /// `Some(bus index)` when `now` is a bus-cycle boundary (mask/shift
+    /// when the divisor is a power of two — this is the hot path of both
+    /// kernels).
+    #[inline]
+    fn bus_boundary(&self, now: u64, per_bus: u64) -> Option<u64> {
+        match self.bus_shift {
+            Some(s) => (now & ((1u64 << s) - 1) == 0).then(|| now >> s),
+            None => now.is_multiple_of(per_bus).then(|| now / per_bus),
+        }
+    }
+
+    /// One reference-kernel cycle: on bus boundaries route requests, tick
+    /// the controllers and deliver completions; then tick every core.
+    /// (The event kernel runs the same halves from `run_event`, fused
+    /// with its horizon bookkeeping.)
+    fn step(&mut self, now: u64, per_bus: u64, fill_latency: u64) {
+        if let Some(bus) = self.bus_boundary(now, per_bus) {
+            self.step_bus(bus, per_bus, fill_latency, false);
+        }
+        for core in &mut self.cores {
+            core.tick(now, &mut self.hierarchy);
+        }
+    }
+
+    /// The bus-boundary half of a step: route requests, tick controllers,
+    /// deliver completions.
+    ///
+    /// With `event_mode`, a controller whose memoized horizon lies beyond
+    /// this bus cycle is **not** ticked — its tick is a no-op by the
+    /// horizon contract, so skipping the call cannot change behavior; the
+    /// refreshed horizon doubles as the cache the event kernel reads.
+    fn step_bus(&mut self, bus: u64, per_bus: u64, fill_latency: u64, event_mode: bool) {
+        self.route_requests(bus);
+        if event_mode {
+            for mc in &mut self.mcs {
+                // The controller memoizes its horizon, so this is a
+                // cheap check when it has not acted since.
+                if mc.next_event_at(bus).is_some_and(|h| h <= bus) {
                     mc.tick(bus);
                 }
-                for ch in 0..self.mcs.len() {
-                    let completions = self.mcs[ch].drain_completions();
-                    for c in completions {
-                        let ready_cpu = c.done_at * per_bus + fill_latency;
-                        for token in self.hierarchy.on_completion(c.id) {
-                            self.cores[c.core as usize].wake(token, ready_cpu);
+            }
+        } else {
+            for mc in &mut self.mcs {
+                mc.tick(bus);
+            }
+        }
+        for ch in 0..self.mcs.len() {
+            if !self.mcs[ch].has_completions() {
+                continue;
+            }
+            self.mcs[ch].drain_completions_into(&mut self.completion_buf);
+            for i in 0..self.completion_buf.len() {
+                let c = self.completion_buf[i];
+                let ready_cpu = c.done_at * per_bus + fill_latency;
+                for token in self.hierarchy.on_completion(c.id) {
+                    self.cores[c.core as usize].wake(token, ready_cpu);
+                }
+            }
+            self.completion_buf.clear();
+        }
+    }
+
+    /// Folds the hierarchy-routing, backlog and controller horizons into
+    /// `next` (the minimum core horizon, computed by the caller in the
+    /// same pass that checks for finished cores). Every cycle in
+    /// `(now, result)` is a no-op apart from the blocked accounting that
+    /// [`TraceCore::skip_cycles`] batches.
+    fn component_horizon(&mut self, now: u64, mut next: u64) -> u64 {
+        let per_bus = self.cfg.cpu_cycles_per_bus;
+        // Pending hierarchy output routes at the next bus boundary...
+        let boundary = (now / per_bus + 1) * per_bus;
+        if next > boundary {
+            if self.hierarchy.next_event_at(now, per_bus).is_some() {
+                next = boundary;
+            }
+            // ...as does backlog the controllers now have room for.
+            if self.backlog_len > 0 {
+                for (ch, q) in self.backlog.iter().enumerate() {
+                    if let Some(front) = q.front() {
+                        if self.mcs[ch].can_accept(front.is_write) {
+                            next = next.min(boundary);
                         }
                     }
                 }
             }
-            for core in &mut self.cores {
-                core.tick(now, &mut self.hierarchy);
+        }
+        // Controller events land on bus boundaries, so they only matter
+        // when nothing earlier is already scheduled (and staying lazy here
+        // lets several invalidations coalesce into one recomputation).
+        if next > boundary {
+            let from_bus = now / per_bus + 1;
+            for mc in &mut self.mcs {
+                if let Some(bus) = mc.next_event_at(from_bus) {
+                    next = next.min(bus.saturating_mul(per_bus));
+                }
             }
+        }
+        next
+    }
+
+    /// Runs until every core finishes or `max_cpu_cycles` elapse; returns
+    /// the collected statistics. The kernel comes from
+    /// [`SystemConfig::kernel`]; both produce bit-identical results.
+    pub fn run(&mut self, max_cpu_cycles: u64) -> RunStats {
+        match self.cfg.kernel {
+            Kernel::Reference => self.run_reference(max_cpu_cycles),
+            Kernel::Event => self.run_event(max_cpu_cycles),
+        }
+    }
+
+    /// The original per-cycle clock loop ([`Kernel::Reference`]).
+    fn run_reference(&mut self, max_cpu_cycles: u64) -> RunStats {
+        let per_bus = self.cfg.cpu_cycles_per_bus;
+        let fill_latency = u64::from(self.cfg.hierarchy.fill_latency);
+        while self.cores.iter().any(|c| !c.finished()) && self.cpu_cycle < max_cpu_cycles {
+            self.step(self.cpu_cycle, per_bus, fill_latency);
             self.cpu_cycle += 1;
+        }
+        self.collect()
+    }
+
+    /// Next-event time skipping ([`Kernel::Event`]): execute the same
+    /// per-cycle step as the reference kernel, but only at event cycles;
+    /// skipped intervals are folded into the blocked counters.
+    fn run_event(&mut self, max_cpu_cycles: u64) -> RunStats {
+        let per_bus = self.cfg.cpu_cycles_per_bus;
+        let fill_latency = u64::from(self.cfg.hierarchy.fill_latency);
+        // Only live cores are ticked/skipped: a finished core's tick is a
+        // no-op in the reference loop, so dropping the visit (and the
+        // cache traffic of touching its state) cannot change behavior.
+        // Wakes for its still-in-flight loads go through `wake`, not tick.
+        let mut live: Vec<usize> =
+            (0..self.cores.len()).filter(|&i| !self.cores[i].finished()).collect();
+        while !live.is_empty() && self.cpu_cycle < max_cpu_cycles {
+            let now = self.cpu_cycle;
+            if let Some(bus) = self.bus_boundary(now, per_bus) {
+                self.step_bus(bus, per_bus, fill_latency, true);
+            }
+            // One fused pass over the live cores: tick each (exactly as
+            // the reference step does, after the bus half), then read its
+            // post-tick state to seed the horizon and the exit check.
+            let mut next = max_cpu_cycles;
+            live.retain(|&i| {
+                let core = &mut self.cores[i];
+                core.tick(now, &mut self.hierarchy);
+                if core.finished() {
+                    return false;
+                }
+                if let Some(t) = core.next_event_at(now) {
+                    next = next.min(t);
+                }
+                true
+            });
+            self.cpu_cycle += 1;
+            if live.is_empty() {
+                break; // the reference loop's exact exit cycle
+            }
+            // An active core ticks next cycle; nothing can be earlier.
+            if next <= now + 1 {
+                continue;
+            }
+            let next = self.component_horizon(now, next).clamp(now + 1, max_cpu_cycles);
+            let skip = next - self.cpu_cycle;
+            if skip > 0 {
+                for &i in &live {
+                    self.cores[i].skip_cycles(now, skip, &mut self.hierarchy);
+                }
+                self.cpu_cycle = next;
+            }
         }
         self.collect()
     }
@@ -185,6 +363,66 @@ mod tests {
         let cfg = SystemConfig::paper(1, kind);
         let mut sys = System::new(cfg, vec![trace], &[60_000]);
         sys.run(60_000_000)
+    }
+
+    fn run_with_kernel(kind: ConfigKind, kernel: Kernel, cores: usize, insts: u64) -> RunStats {
+        let apps = ["mcf", "lbm", "zeusmp", "libquantum"];
+        let traces: Vec<Trace> = (0..cores)
+            .map(|i| {
+                let p = profile_by_name(apps[i % apps.len()]).unwrap();
+                generate_trace(&p, 8_000, 7 + i as u64)
+            })
+            .collect();
+        let cfg = SystemConfig { kernel, ..SystemConfig::paper(cores, kind) };
+        let mut sys = System::new(cfg, traces, &vec![insts; cores]);
+        sys.run(insts * 400)
+    }
+
+    #[test]
+    fn event_kernel_matches_reference_across_figure78_configs() {
+        let mut kinds = vec![ConfigKind::Base];
+        kinds.extend(ConfigKind::figure78_set());
+        for kind in kinds {
+            let reference = run_with_kernel(kind.clone(), Kernel::Reference, 1, 30_000);
+            let event = run_with_kernel(kind.clone(), Kernel::Event, 1, 30_000);
+            assert_eq!(reference, event, "kernel divergence under {}", kind.label());
+        }
+    }
+
+    #[test]
+    fn event_kernel_matches_reference_multicore_multichannel() {
+        for cores in [2usize, 4] {
+            let reference =
+                run_with_kernel(ConfigKind::FigCacheFast, Kernel::Reference, cores, 12_000);
+            let event = run_with_kernel(ConfigKind::FigCacheFast, Kernel::Event, cores, 12_000);
+            assert_eq!(reference, event, "kernel divergence with {cores} cores");
+        }
+    }
+
+    #[test]
+    fn event_kernel_matches_reference_at_cycle_cap() {
+        // A run truncated by `max_cpu_cycles` must stop at the identical
+        // cycle (unfinished cores report the cap in `finish_cycles`).
+        let reference = {
+            let profile = profile_by_name("mcf").unwrap();
+            let trace = generate_trace(&profile, 30_000, 9);
+            let cfg = SystemConfig {
+                kernel: Kernel::Reference,
+                ..SystemConfig::paper(1, ConfigKind::Base)
+            };
+            let mut sys = System::new(cfg, vec![trace], &[1_000_000]);
+            sys.run(50_000)
+        };
+        let event = {
+            let profile = profile_by_name("mcf").unwrap();
+            let trace = generate_trace(&profile, 30_000, 9);
+            let cfg =
+                SystemConfig { kernel: Kernel::Event, ..SystemConfig::paper(1, ConfigKind::Base) };
+            let mut sys = System::new(cfg, vec![trace], &[1_000_000]);
+            sys.run(50_000)
+        };
+        assert_eq!(reference.cpu_cycles, 50_000);
+        assert_eq!(reference, event);
     }
 
     #[test]
