@@ -22,7 +22,6 @@
 //! ```
 
 use std::fmt::Write as _;
-use std::path::PathBuf;
 use std::time::Instant;
 
 use figaro_sim::runner::{idle_companion_trace, Scale, IDLE_COMPANION_TARGET};
@@ -192,11 +191,7 @@ fn main() {
         println!("{:<22} event-kernel speedup: {:.2}x", shape.label(), ref_s / event_s);
     }
     let report = json_report(scale, &results);
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("workspace root exists")
-        .join("BENCH_kernel.json");
+    let path = figaro_bench::artifact_path("BENCH_kernel.json");
     std::fs::write(&path, &report).expect("write BENCH_kernel.json");
     println!("wrote {}", path.display());
 }

@@ -1,0 +1,36 @@
+//! Streaming scenario sweeps (beyond the paper's figures): the
+//! channels × MSHRs × segment-size sensitivity grid and the
+//! phase-switching workloads, driven end to end from streaming trace
+//! sources through the scenario batch API. Results are printed as tables
+//! and written as CSV next to the bench cache for post-processing.
+//!
+//! Knobs: `FIGARO_SCALE`, `FIGARO_FULL_SWEEPS=1` (3×3×3 grid), and
+//! `FIGARO_LONG_RUN=<ops>` to append long-run streaming mixes with that
+//! many memory operations per core (bounded memory at any length).
+
+use figaro_bench::{artifact_path, bench_runner, timed};
+use figaro_sim::experiments::{long_run_scenarios, phased_workloads, sensitivity_sweep};
+
+fn main() {
+    let runner = bench_runner("Streaming scenarios: sensitivity grid + phased workloads");
+    let sens = timed("sensitivity", || sensitivity_sweep(&runner));
+    println!("{sens}");
+    sens.write_csv(artifact_path("BENCH_sensitivity.csv")).expect("write BENCH_sensitivity.csv");
+    let phased = timed("phased", || phased_workloads(&runner));
+    println!("{phased}");
+    phased.write_csv(artifact_path("BENCH_phased.csv")).expect("write BENCH_phased.csv");
+    if let Ok(ops) = std::env::var("FIGARO_LONG_RUN") {
+        let ops: u64 = ops.parse().expect("FIGARO_LONG_RUN must be an op count");
+        let scenarios = long_run_scenarios(ops);
+        for sc in &scenarios {
+            let s = timed(&sc.name, || runner.run_scenario(sc));
+            println!(
+                "{}: cycles {}  ipc {:?}  cache hit rate {:.3}",
+                sc.name,
+                s.cpu_cycles,
+                s.ipc.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>(),
+                s.cache_hit_rate,
+            );
+        }
+    }
+}

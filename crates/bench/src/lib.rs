@@ -11,17 +11,38 @@
 //!
 //! * `FIGARO_SCALE` = `tiny` | `small` (default) | `full` — instructions
 //!   per core;
-//! * `FIGARO_FULL_SWEEPS=1` — run sweep figures (12–15) over all 20
-//!   applications/mixes instead of the representative subset.
+//! * `FIGARO_FULL_SWEEPS=1` — run sweep figures (12–15) and the
+//!   `streaming_scenarios` sensitivity grid over the full set instead of
+//!   the representative subset;
+//! * `FIGARO_LONG_RUN=<ops>` — append long-run streaming mixes (that
+//!   many memory operations per core, bounded memory at any length) to
+//!   the `streaming_scenarios` target.
 //!
 //! The `micro` target contains Criterion micro-benchmarks of simulator
 //! hot paths (DRAM command issue, controller scheduling, tag-store
 //! operations, trace generation).
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use figaro_sim::runner::Scale;
 use figaro_sim::Runner;
+
+/// Workspace-root path for a bench artifact (`BENCH_*.json`/`.csv`).
+/// Bench binaries run with the *package* directory as cwd, so relative
+/// paths would scatter artifacts under `crates/bench/`.
+///
+/// # Panics
+///
+/// Panics if the crate is not nested two levels below the workspace root.
+#[must_use]
+pub fn artifact_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists")
+        .join(name)
+}
 
 /// Builds the shared runner and prints the standard bench header.
 #[must_use]

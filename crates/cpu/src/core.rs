@@ -9,7 +9,7 @@
 
 use std::collections::VecDeque;
 
-use figaro_workloads::{Trace, TraceOp};
+use figaro_workloads::{Trace, TraceOp, TraceSource};
 
 use crate::hierarchy::{Access, CacheHierarchy};
 
@@ -47,12 +47,16 @@ pub struct CoreStats {
 
 /// A trace-driven core. Drive it with [`TraceCore::tick`] once per CPU
 /// cycle, and deliver load data with [`TraceCore::wake`].
+///
+/// The core pulls operations on demand from a [`TraceSource`] — a
+/// wrapped finite [`Trace`] (see [`TraceCore::new`]), a streaming
+/// generator, or a trace-file replay (see [`TraceCore::from_source`]) —
+/// so run length never requires a materialized trace in memory.
 #[derive(Debug)]
 pub struct TraceCore {
     params: CoreParams,
-    trace: Trace,
+    source: Box<dyn TraceSource>,
     id: usize,
-    pos: usize,
     /// Non-memory instructions still to issue before the next memory op.
     nonmem_left: u32,
     /// The memory op awaiting issue (set when its leading non-memory
@@ -90,12 +94,28 @@ impl TraceCore {
     #[must_use]
     pub fn new(id: usize, params: CoreParams, trace: Trace, target_insts: u64) -> Self {
         assert!(!trace.ops.is_empty(), "trace must be non-empty");
+        Self::from_source(id, params, Box::new(trace.into_source()), target_insts)
+    }
+
+    /// Creates a core that pulls its operations from `source` — the
+    /// streaming form of [`TraceCore::new`] for generators, phased
+    /// workloads and trace-file replays.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero instruction target.
+    #[must_use]
+    pub fn from_source(
+        id: usize,
+        params: CoreParams,
+        source: Box<dyn TraceSource>,
+        target_insts: u64,
+    ) -> Self {
         assert!(target_insts > 0, "target_insts must be non-zero");
         Self {
             params,
-            trace,
+            source,
             id,
-            pos: 0,
             nonmem_left: 0,
             pending_mem: None,
             stalled: false,
@@ -153,9 +173,7 @@ impl TraceCore {
     }
 
     fn next_op(&mut self) -> TraceOp {
-        let op = self.trace.ops[self.pos];
-        self.pos = (self.pos + 1) % self.trace.ops.len();
-        op
+        self.source.next_op()
     }
 
     /// Cycles after `now` over which ticking is a deterministic full-width
@@ -456,5 +474,33 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_trace_panics() {
         let _ = TraceCore::new(0, CoreParams::paper_default(), tiny_trace(vec![]), 10);
+    }
+
+    #[test]
+    fn streaming_source_matches_materialized_trace() {
+        // A core pulling straight from the generator must behave exactly
+        // like one running a (long enough to never wrap) materialized
+        // prefix of the same generator.
+        use figaro_workloads::{generate_trace, profile_by_name, TraceGenerator};
+        let p = profile_by_name("mcf").unwrap();
+        let insts = 5_000u64;
+        let run_core = |mut core: TraceCore| {
+            let mut h = CacheHierarchy::new(HierarchyConfig::paper_default(1), 1);
+            let at = run(&mut core, &mut h, 2_000_000);
+            (at, core.stats())
+        };
+        let materialized = run_core(TraceCore::new(
+            0,
+            CoreParams::paper_default(),
+            generate_trace(&p, 50_000, 77),
+            insts,
+        ));
+        let streamed = run_core(TraceCore::from_source(
+            0,
+            CoreParams::paper_default(),
+            Box::new(TraceGenerator::new(&p, 77)),
+            insts,
+        ));
+        assert_eq!(materialized, streamed);
     }
 }

@@ -230,11 +230,26 @@ impl DramChannel {
         self.banks[self.bank_index(b)].busy_until > now
     }
 
-    /// Earliest cycle at which `cmd` may issue to bank `b`, or [`ILLEGAL`]
-    /// if the bank state makes the command impossible regardless of time
-    /// (wrong open/closed state, missing `RELOC` prerequisite, etc.).
+    /// Earliest cycle **no earlier than `now`** at which `cmd` may issue
+    /// to bank `b`, or [`ILLEGAL`] if the bank state makes the command
+    /// impossible regardless of time (wrong open/closed state, missing
+    /// `RELOC` prerequisite, etc.). Legal results are clamped to `now`, so
+    /// a constraint that elapsed long ago never reports an issue time in
+    /// the past — `earliest_issue` and [`DramChannel::next_ready`] agree
+    /// on every legal command.
     #[must_use]
-    pub fn earliest_issue(&self, b: BankAddr, cmd: &DramCommand, _now: Cycle) -> Cycle {
+    pub fn earliest_issue(&self, b: BankAddr, cmd: &DramCommand, now: Cycle) -> Cycle {
+        let e = self.earliest_unclamped(b, cmd);
+        if e == ILLEGAL {
+            ILLEGAL
+        } else {
+            e.max(now)
+        }
+    }
+
+    /// The raw timing-constraint bound behind [`DramChannel::earliest_issue`]
+    /// (may lie in the past once the constraints have elapsed).
+    fn earliest_unclamped(&self, b: BankAddr, cmd: &DramCommand) -> Cycle {
         let t = &self.config.timing;
         let bank = &self.banks[self.bank_index(b)];
         let rank = &self.ranks[b.rank as usize];
@@ -382,7 +397,7 @@ impl DramChannel {
     #[must_use]
     pub fn next_ready(&self, b: BankAddr, cmd: &DramCommand, from: Cycle) -> Option<Cycle> {
         let e = self.earliest_issue(b, cmd, from);
-        (e != ILLEGAL).then(|| e.max(from))
+        (e != ILLEGAL).then_some(e)
     }
 
     /// Duration of a LISA clone between the subarrays of `src_row` and
@@ -657,6 +672,32 @@ mod tests {
     }
 
     #[test]
+    fn earliest_issue_never_reports_the_past_and_matches_next_ready() {
+        // Regression: `earliest_issue` used to ignore `now` and could
+        // report an issue time long in the past once the constraints had
+        // elapsed, disagreeing with `next_ready`. Legal commands must be
+        // clamped to `now`; illegal ones stay ILLEGAL at any `now`.
+        let mut c = channel();
+        c.issue(bank0(), &DramCommand::Activate { row: 7 }, 0);
+        let rd = DramCommand::Read { col: 0, auto_pre: false };
+        let pre = DramCommand::Precharge;
+        for now in [0u64, 5, 11, 100, 10_000] {
+            for cmd in [&rd, &pre] {
+                let e = c.earliest_issue(bank0(), cmd, now);
+                assert_ne!(e, ILLEGAL);
+                assert!(e >= now, "{cmd:?} at now={now} reported past cycle {e}");
+                assert_eq!(c.next_ready(bank0(), cmd, now), Some(e), "{cmd:?} at now={now}");
+            }
+        }
+        // tRCD still gates the read when asked before it elapses.
+        assert_eq!(c.earliest_issue(bank0(), &rd, 0), 11);
+        // Illegal regardless of time: ACT on the open bank.
+        let act = DramCommand::Activate { row: 9 };
+        assert_eq!(c.earliest_issue(bank0(), &act, 10_000), ILLEGAL);
+        assert_eq!(c.next_ready(bank0(), &act, 10_000), None);
+    }
+
+    #[test]
     fn double_activate_same_bank_is_illegal_without_precharge() {
         let mut c = channel();
         c.issue(bank0(), &DramCommand::Activate { row: 7 }, 0);
@@ -760,8 +801,11 @@ mod tests {
         // Wrong subarray is illegal.
         let wrong = DramCommand::ActivateMerge { row: 9 * 512 };
         assert_eq!(c.earliest_issue(bank0(), &wrong, 40), ILLEGAL);
+        // The last RELOC completed at 29; asked from 40 the merge is ready
+        // immediately (clamped to `now`, never in the past).
+        assert_eq!(c.earliest_issue(bank0(), &merge, 29), 29);
         let e = c.earliest_issue(bank0(), &merge, 40);
-        assert_eq!(e, 29); // last RELOC completion
+        assert_eq!(e, 40);
         c.issue(bank0(), &merge, 40);
         assert!(!c.is_pinned(bank0()), "merge releases the pin");
         // The demand row is still open and servable.

@@ -542,8 +542,9 @@ impl MemoryController {
         }
         if self.refresh_pending {
             // tick() routes straight to `progress_refresh` and returns.
-            best = best.min(self.refresh_horizon(from));
-            return (best != Cycle::MAX).then_some(best);
+            // The refresh horizon is always finite (see `refresh_horizon`),
+            // so a refresh-pending controller can never go to sleep forever.
+            return Some(best.min(self.refresh_horizon(from)));
         }
         let any_job = self.jobs.iter().any(Option::is_some);
         let any_pending = self.engine.has_any_pending_job(self.jobs.len() as u32);
@@ -564,15 +565,31 @@ impl MemoryController {
         if any_pending {
             best = best.min(self.pending_start_horizon(from));
         }
-        (best != Cycle::MAX).then_some(best)
+        if best == Cycle::MAX {
+            // Work is queued but no candidate produced a finite time (every
+            // relevant command is momentarily illegal — e.g. a bank mid-pin
+            // whose state only a future tick resolves). Collapsing this to
+            // "no event" would let the event kernel jump past the resolution
+            // point and starve the queued work; retry next cycle instead.
+            // A too-early horizon only costs a no-op tick.
+            best = from + 1;
+        }
+        Some(best)
     }
 
     /// Event horizon of `progress_refresh`: active-job wind-down first,
     /// then the first open bank's precharge (scan order, matching the
-    /// one-bank-per-tick drain), then the refresh command itself.
+    /// one-bank-per-tick drain), then the refresh command itself. Always
+    /// finite: a `None` from `next_ready` (command momentarily illegal,
+    /// e.g. a pinned bank blocking `Refresh`) degrades to a next-cycle
+    /// retry rather than `Cycle::MAX` — collapsing it to MAX would put the
+    /// controller to sleep with refresh pending and silently disable
+    /// refresh for the rest of the run.
     fn refresh_horizon(&self, from: Cycle) -> Cycle {
+        let retry = from + 1;
         if self.jobs.iter().any(Option::is_some) {
-            return self.job_step_horizon(from);
+            let h = self.job_step_horizon(from);
+            return if h == Cycle::MAX { retry } else { h };
         }
         let g = *self.mapping.geometry();
         for rank in 0..g.ranks {
@@ -583,13 +600,13 @@ impl MemoryController {
                         return self
                             .channel
                             .next_ready(bank, &DramCommand::Precharge, from)
-                            .unwrap_or(Cycle::MAX);
+                            .unwrap_or(retry);
                     }
                 }
             }
         }
         let bank = BankAddr { rank: 0, bankgroup: 0, bank: 0 };
-        self.channel.next_ready(bank, &DramCommand::Refresh, from).unwrap_or(Cycle::MAX)
+        self.channel.next_ready(bank, &DramCommand::Refresh, from).unwrap_or(retry)
     }
 
     /// Earliest cycle at which any active job's next command could issue
@@ -1227,6 +1244,77 @@ mod tests {
         assert!(mc.stats().reads_served > 100, "the workload must exercise the controller");
         assert!(mc.dram_stats().refreshes > 0, "refresh must fire during the run");
         assert!(mc.dram_stats().relocs > 0, "relocation jobs must run");
+    }
+
+    #[test]
+    fn event_paced_ticking_matches_per_cycle_including_refresh() {
+        // Regression for the refresh horizon: a `None` from
+        // `next_ready(.., Refresh, ..)` used to collapse into `Cycle::MAX`,
+        // which could put an event-paced controller to sleep with refresh
+        // pending (silently disabling refresh for the rest of the run).
+        // Drive two identical FIGCache controllers — one ticked every bus
+        // cycle, one ticked only when its horizon says so — through a
+        // bursty schedule that repeatedly blocks banks (relocation jobs in
+        // flight) around the refresh deadline, and require bit-identical
+        // stats plus actual refreshes.
+        let dram = DramConfig {
+            layout: SubarrayLayout::homogeneous(64, 512).with_appended_fast(2, 32),
+            ..DramConfig::ddr4_paper_default()
+        };
+        let cfg = McConfig::default();
+        let mk = || {
+            let engine = FigCacheEngine::new(&dram, &FigCacheConfig::paper_fast(), 16);
+            MemoryController::new(&dram, cfg, 0, Box::new(engine))
+        };
+        let mut per_cycle = mk();
+        let mut event_paced = mk();
+        let refi = u64::from(dram.timing.refi);
+        let mut id = 0u64;
+        let horizon_end = 3 * refi + 2000;
+        for t in 0..horizon_end {
+            // Bursts of same-bank conflicts shortly before each refresh
+            // deadline, so jobs and open banks straddle the transition.
+            let phase = t % refi;
+            if phase > refi - 400 && t.is_multiple_of(13) && per_cycle.can_accept(false) {
+                let addr = (id * 12_289) % 8192 * 64;
+                per_cycle.enqueue(read(id, addr, t), t);
+                assert!(event_paced.can_accept(false), "acceptance must agree at {t}");
+                event_paced.enqueue(read(id, addr, t), t);
+                id += 1;
+            }
+            per_cycle.tick(t);
+            if event_paced.next_event_at(t).is_some_and(|h| h <= t) {
+                event_paced.tick(t);
+            }
+            let a = per_cycle.drain_completions();
+            let b = event_paced.drain_completions();
+            assert_eq!(a, b, "completions diverged at bus cycle {t}");
+        }
+        assert_eq!(per_cycle.stats(), event_paced.stats());
+        assert_eq!(per_cycle.dram_stats(), event_paced.dram_stats());
+        assert_eq!(per_cycle.engine_stats(), event_paced.engine_stats());
+        assert_eq!(per_cycle.dram_stats().refreshes, 3, "one refresh per elapsed tREFI");
+        assert!(per_cycle.dram_stats().relocs > 0, "relocation jobs must run");
+    }
+
+    #[test]
+    fn refresh_pending_horizon_is_always_finite() {
+        // With refresh enabled the controller must never report "no
+        // events" once the refresh deadline passed, whatever the bank
+        // state — otherwise an event kernel would sleep through refresh.
+        let mut mc = base_mc(true);
+        let refi = u64::from(DramConfig::ddr4_paper_default().timing.refi);
+        // Open a bank just before the deadline so the drain path (precharge
+        // then refresh) engages.
+        mc.enqueue(read(1, 0, refi - 2), refi - 2);
+        for t in (refi - 2)..(refi + 400) {
+            let h = mc.next_event_at(t);
+            assert!(h.is_some(), "horizon vanished at {t} with refresh due");
+            assert!(h.unwrap() >= t, "horizon in the past at {t}");
+            mc.tick(t);
+            let _ = mc.drain_completions();
+        }
+        assert_eq!(mc.dram_stats().refreshes, 1);
     }
 
     #[test]

@@ -9,15 +9,16 @@
 //! applications per single-core category, one mix per eight-core
 //! category); set `FIGARO_FULL_SWEEPS=1` for the paper's full set.
 
-use figaro_core::ReplacementPolicy;
+use figaro_core::{FigCacheConfig, ReplacementPolicy};
 use figaro_workloads::{
-    app_profiles, eight_core_mixes, multithreaded_profiles, AppProfile, Mix, MixCategory,
+    app_profiles, eight_core_mixes, multithreaded_profiles, phased_profiles, AppProfile, Mix,
+    MixCategory,
 };
 
 use crate::config::{ConfigKind, SystemConfig};
-use crate::metrics::{geomean, weighted_speedup};
+use crate::metrics::{geomean, safe_ratio, weighted_speedup};
 use crate::report::FigureData;
-use crate::runner::{RunSummary, Runner};
+use crate::runner::{RunSummary, Runner, Scenario, ScenarioWorkload};
 
 fn full_sweeps() -> bool {
     std::env::var("FIGARO_FULL_SWEEPS").is_ok_and(|v| v == "1")
@@ -52,6 +53,19 @@ fn mean(values: &[f64]) -> f64 {
     values.iter().sum::<f64>() / values.len().max(1) as f64
 }
 
+/// Appends a warning note when any of `results` hit its cycle cap short
+/// of the instruction target — a truncated point must not read as a
+/// measurement.
+fn note_truncations<'a>(fig: &mut FigureData, results: impl IntoIterator<Item = &'a RunSummary>) {
+    let truncated = results.into_iter().filter(|s| s.truncated_cores > 0).count();
+    if truncated > 0 {
+        fig.push_note(format!(
+            "WARNING: {truncated} run(s) hit the cycle cap before the instruction target; \
+             their cells are depressed, not measured"
+        ));
+    }
+}
+
 /// Runs `apps × kinds` single-core points in parallel; result indexed
 /// `[app][kind]` (delegates to the runner's rayon batch API).
 fn single_matrix(
@@ -70,8 +84,20 @@ fn mix_matrix(runner: &Runner, mixes: &[Mix], kinds: &[ConfigKind]) -> Vec<Vec<R
 
 /// Normalized weighted speedup of `summary` vs `base` for `mix`, using
 /// alone-IPCs from the runner.
+///
+/// # Panics
+///
+/// Panics on a non-positive alone IPC: a degenerate (truncated) alone
+/// run would silently contribute `0` through [`weighted_speedup`]'s
+/// NaN-proofing and turn a figure cell into fiction — at the
+/// figure-builder layer that must stay a loud failure.
 fn ws_speedup(runner: &Runner, mix: &Mix, summary: &RunSummary, base: &RunSummary) -> f64 {
     let alone: Vec<f64> = mix.apps.iter().map(|p| runner.alone_ipc(p)).collect();
+    assert!(
+        alone.iter().all(|&a| a > 0.0 && a.is_finite()),
+        "alone IPC must be positive (truncated alone run for {}?)",
+        mix.name
+    );
     weighted_speedup(&summary.ipc, &alone) / weighted_speedup(&base.ipc, &alone)
 }
 
@@ -98,6 +124,7 @@ pub fn fig07(runner: &Runner) -> FigureData {
             .collect();
         fig.push_row(label, g);
     }
+    note_truncations(&mut fig, matrix.iter().flatten());
     fig.push_note(
         "paper: FIGCache-Fast averages +1.5% (up to +2.9%) on non-intensive and +16.1% (up to +22.5%) on intensive applications",
     );
@@ -139,6 +166,7 @@ pub fn fig08(runner: &Runner) -> FigureData {
         fig.push_row(format!("avg {} intensive", cat.label()), avg);
     }
     fig.push_row("avg all 20 mixes", (0..cols).map(|k| mean(&overall[k])).collect());
+    note_truncations(&mut fig, matrix.iter().flatten());
     fig.push_note("paper: FIGCache-Fast +3.9%/+12.9%/+21.8%/+27.1% for 25/50/75/100% categories, +16.3% overall");
     fig.push_note("paper: FIGCache-Fast beats LISA-VILLA by 4.7% and is within 1.9% of Ideal / 4.6% of LL-DRAM");
     fig
@@ -212,6 +240,7 @@ fn category_metric(
             .collect();
         fig.push_row(format!("8-core {}", cat.label()), vals);
     }
+    note_truncations(fig, matrix.iter().chain(mix_mat.iter()).flatten());
 }
 
 /// **Figure 11**: system energy breakdown (CPU / L1&L2 / LLC / off-chip /
@@ -260,6 +289,7 @@ pub fn fig11(runner: &Runner) -> FigureData {
             mixes.iter().enumerate().filter(|(_, m)| m.category == cat).map(|(i, _)| i).collect();
         add_group(&format!("8-core {}", cat.label()), &idxs, &mix_mat);
     }
+    note_truncations(&mut fig, matrix.iter().chain(mix_mat.iter()).flatten());
     fig.push_note("paper: FIGCache-Slow/Fast cut 1-core intensive system energy by 6.9%/11.1%; savings come from fewer ACT/PRE (row hits) and shorter runtime");
     fig.push_note("paper: 8-core DRAM energy drops 7.8% on average under FIGCache-Fast");
     fig
@@ -390,6 +420,7 @@ fn sweep_figure(
             .collect();
         fig.push_row(format!("8-core {}", cat.label()), vals);
     }
+    note_truncations(&mut fig, matrix.iter().chain(mix_mat.iter()).flatten());
     for n in notes {
         fig.push_note(*n);
     }
@@ -397,6 +428,140 @@ fn sweep_figure(
         fig.push_note("sweep subset in effect (set FIGARO_FULL_SWEEPS=1 for all 20 apps/mixes)");
     }
     fig
+}
+
+/// The sensitivity-sweep grid: `(channels, MSHRs/core)` system shapes ×
+/// cache-segment sizes (blocks per segment). A subset unless
+/// `FIGARO_FULL_SWEEPS=1`.
+#[must_use]
+pub fn sensitivity_grid() -> (Vec<(u32, usize)>, Vec<u32>) {
+    if full_sweeps() {
+        (
+            [1u32, 2, 4].iter().flat_map(|&c| [4usize, 8, 16].map(|m| (c, m))).collect(),
+            vec![8, 16, 32],
+        )
+    } else {
+        (vec![(1, 4), (1, 8), (4, 8), (4, 16)], vec![8, 16])
+    }
+}
+
+/// **Sensitivity sweep** (beyond the paper's figures): normalized
+/// weighted speedup of FIGCache over `Base` across channels × MSHRs ×
+/// cache-segment size, on one 100%-intensive eight-core mix driven by
+/// **streaming** generators through the scenario batch API. Rows are
+/// system shapes, columns segment sizes.
+pub fn sensitivity_sweep(runner: &Runner) -> FigureData {
+    let (shapes, segments) = sensitivity_grid();
+    let mix = eight_core_mixes()
+        .into_iter()
+        .find(|m| m.category == MixCategory::Intensive100)
+        .expect("every category has mixes");
+    let alone: Vec<f64> = runner.alone_ipc_batch(&mix.apps);
+    assert!(
+        alone.iter().all(|&a| a > 0.0 && a.is_finite()),
+        "alone IPC must be positive (truncated alone run?)"
+    );
+    let scenario = |kind: ConfigKind, label: &str, &(ch, mshrs): &(u32, usize)| {
+        Scenario::new(
+            format!("sens-{}-{label}", mix.name),
+            kind,
+            ScenarioWorkload::Mix(mix.clone()),
+        )
+        .with_channels(ch)
+        .with_mshrs(mshrs)
+    };
+    // One Base run per shape (the normalization denominator) plus one
+    // FIGCache run per shape × segment size, all in one parallel batch.
+    let mut jobs: Vec<Scenario> =
+        shapes.iter().map(|s| scenario(ConfigKind::Base, "base", s)).collect();
+    for &blocks in &segments {
+        let kind = ConfigKind::FigCacheCustom(FigCacheConfig {
+            blocks_per_segment: blocks,
+            ..FigCacheConfig::paper_fast()
+        });
+        jobs.extend(shapes.iter().map(|s| scenario(kind.clone(), &format!("seg{blocks}"), s)));
+    }
+    let results = runner.run_scenario_batch(&jobs);
+    let (base_runs, fig_runs) = results.split_at(shapes.len());
+    let columns: Vec<String> = segments.iter().map(|b| format!("{} B", b * 64)).collect();
+    let mut fig = FigureData::new(
+        "Sensitivity: weighted speedup over Base, channels x MSHRs x segment size",
+        columns,
+    );
+    for (si, &(ch, mshrs)) in shapes.iter().enumerate() {
+        let base_ws = weighted_speedup(&base_runs[si].ipc, &alone);
+        let vals: Vec<f64> = (0..segments.len())
+            .map(|bi| {
+                let s = &fig_runs[bi * shapes.len() + si];
+                safe_ratio(weighted_speedup(&s.ipc, &alone), base_ws)
+            })
+            .collect();
+        fig.push_row(format!("{ch} ch / {mshrs} MSHR"), vals);
+    }
+    note_truncations(&mut fig, &results);
+    fig.push_note("streaming scenario runs (no materialized traces); one Intensive100 mix");
+    if !full_sweeps() {
+        fig.push_note("sweep subset in effect (set FIGARO_FULL_SWEEPS=1 for the 3x3x3 grid)");
+    }
+    fig
+}
+
+/// **Phased workloads**: FIGCache-Fast vs Base on the phase-switching
+/// streaming workloads (hot-set / streaming / pointer-chase schedules) —
+/// the regime changes that stress insertion and replacement.
+pub fn phased_workloads(runner: &Runner) -> FigureData {
+    let profiles = phased_profiles();
+    let mut fig = FigureData::new(
+        "Phased workloads: FIGCache-Fast speedup over Base (single core, streamed)",
+        vec!["speedup".into(), "cache hit rate".into()],
+    );
+    let jobs: Vec<Scenario> = profiles
+        .iter()
+        .flat_map(|p| {
+            let workload = ScenarioWorkload::Phased(vec![p.clone()]);
+            [
+                Scenario::new(format!("{}-base", p.name), ConfigKind::Base, workload.clone()),
+                Scenario::new(format!("{}-fig", p.name), ConfigKind::FigCacheFast, workload),
+            ]
+        })
+        .collect();
+    let results = runner.run_scenario_batch(&jobs);
+    for (i, p) in profiles.iter().enumerate() {
+        let (base, fig_fast) = (&results[i * 2], &results[i * 2 + 1]);
+        fig.push_row(
+            &p.name,
+            vec![safe_ratio(fig_fast.ipc[0], base.ipc[0]), fig_fast.cache_hit_rate],
+        );
+    }
+    note_truncations(&mut fig, &results);
+    fig.push_note("phase switches churn the hot set; insertion/replacement must keep up");
+    fig
+}
+
+/// Long-run streaming scenarios: `ops_per_core` memory operations per
+/// core on 100%- and 25%-intensive mixes, streamed end to end (memory
+/// use is independent of the op count). These back the
+/// `FIGARO_LONG_RUN` tier; at default scales use
+/// [`sensitivity_sweep`]-sized runs instead.
+#[must_use]
+pub fn long_run_scenarios(ops_per_core: u64) -> Vec<Scenario> {
+    let mixes = eight_core_mixes();
+    [MixCategory::Intensive100, MixCategory::Intensive25]
+        .iter()
+        .map(|cat| {
+            let mix = mixes
+                .iter()
+                .find(|m| m.category == *cat)
+                .expect("every category has mixes")
+                .clone();
+            Scenario::long_run(
+                format!("long-{}", mix.name),
+                ConfigKind::FigCacheFast,
+                ScenarioWorkload::Mix(mix),
+                ops_per_core,
+            )
+        })
+        .collect()
 }
 
 /// **Table 2**: measured MPKI and intensity classification of every
@@ -416,6 +581,7 @@ pub fn tab2(runner: &Runner) -> FigureData {
             vec![mpki, f64::from(u8::from(mpki > 10.0)), f64::from(u8::from(app.memory_intensive))],
         );
     }
+    note_truncations(&mut fig, matrix.iter().flatten());
     fig.push_note("paper splits Table 2 at 10 LLC misses per kilo-instruction");
     fig
 }
@@ -442,6 +608,7 @@ pub fn multithreaded(runner: &Runner) -> FigureData {
         fig.push_row(p.name, vec![s]);
     }
     fig.push_row("average", vec![mean(&speedups)]);
+    note_truncations(&mut fig, &results);
     fig.push_note("paper: +16.8% average over Base for the three multithreaded applications");
     fig
 }
@@ -501,6 +668,34 @@ mod tests {
         assert!(apps.iter().any(|a| a.memory_intensive));
         assert!(apps.iter().any(|a| !a.memory_intensive));
         assert_eq!(sweep_mixes().len(), 2);
+    }
+
+    #[test]
+    fn safe_ratio_never_emits_nan_or_inf() {
+        assert_eq!(safe_ratio(2.0, 4.0), 0.5);
+        assert_eq!(safe_ratio(1.0, 0.0), 0.0);
+        assert_eq!(safe_ratio(0.0, 0.0), 0.0);
+        assert_eq!(safe_ratio(f64::NAN, 1.0), 0.0);
+        assert_eq!(safe_ratio(1.0, f64::INFINITY), 0.0);
+    }
+
+    #[test]
+    fn sensitivity_grid_subset_covers_both_axes() {
+        let (shapes, segments) = sensitivity_grid();
+        assert!(shapes.iter().any(|&(c, _)| c == 1) && shapes.iter().any(|&(c, _)| c > 1));
+        assert!(shapes.iter().any(|&(_, m)| m < 8) && shapes.iter().any(|&(_, m)| m > 4));
+        assert!(segments.len() >= 2);
+    }
+
+    #[test]
+    fn long_run_scenarios_are_streamed_mixes_with_scaled_targets() {
+        let scs = long_run_scenarios(100_000_000);
+        assert_eq!(scs.len(), 2);
+        for sc in &scs {
+            assert_eq!(sc.workload.cores(), 8);
+            let t = sc.target_insts.expect("long runs set a target");
+            assert!(t >= 100_000_000, "{}: target {t} below the op count", sc.name);
+        }
     }
 
     #[test]

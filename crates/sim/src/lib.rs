@@ -48,5 +48,5 @@ pub mod system;
 
 pub use config::{ConfigKind, Kernel, SystemConfig};
 pub use metrics::RunStats;
-pub use runner::{Runner, Scale};
+pub use runner::{Runner, Scale, Scenario, ScenarioWorkload};
 pub use system::System;

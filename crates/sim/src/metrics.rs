@@ -49,6 +49,19 @@ impl RunStats {
         self.hierarchy.llc_misses_per_core[core] as f64 * 1000.0 / insts as f64
     }
 
+    /// Number of cores that did **not** reach their instruction target
+    /// before the run hit its cycle cap. A core that never finished
+    /// reports the final clock as its finish cycle (`finished_at`
+    /// defaults to `cpu_cycles` in the collector), while a core that
+    /// finished did so strictly before the loop's final increment — so
+    /// `finish_cycles[c] == cpu_cycles` identifies truncation exactly.
+    /// Reports use this to flag truncated data points instead of letting
+    /// them masquerade as measurements.
+    #[must_use]
+    pub fn unfinished_cores(&self) -> usize {
+        self.finish_cycles.iter().filter(|&&f| f == self.cpu_cycles).count()
+    }
+
     /// DRAM row-buffer hit rate (Fig. 10).
     #[must_use]
     pub fn row_hit_rate(&self) -> f64 {
@@ -66,20 +79,33 @@ impl RunStats {
 /// `WS = Σᵢ IPCᵢ^shared / IPCᵢ^alone` (paper Section 7, citing
 /// Snavely & Tullsen). Figures normalize `WS(config) / WS(Base)`.
 ///
+/// Degenerate cores — an alone-IPC of zero (a core that retired nothing
+/// in its alone run, e.g. a truncated measurement) or a non-finite
+/// entry — contribute `0` instead of poisoning the sum with `inf`/`NaN`:
+/// a report cell must stay a number even when one run was degenerate
+/// (see [`safe_ratio`], the single place this policy lives).
+///
 /// # Panics
 ///
-/// Panics if the slices differ in length or an alone-IPC is zero.
+/// Panics if the slices differ in length.
 #[must_use]
 pub fn weighted_speedup(shared_ipc: &[f64], alone_ipc: &[f64]) -> f64 {
     assert_eq!(shared_ipc.len(), alone_ipc.len(), "per-core IPC slices must match");
-    shared_ipc
-        .iter()
-        .zip(alone_ipc)
-        .map(|(&s, &a)| {
-            assert!(a > 0.0, "alone IPC must be positive");
-            s / a
-        })
-        .sum()
+    shared_ipc.iter().zip(alone_ipc).map(|(&s, &a)| safe_ratio(s, a)).sum()
+}
+
+/// `num / den` with degenerate denominators (zero, negative, non-finite
+/// result) mapped to `0.0` — the workspace-wide policy keeping `NaN`/
+/// `inf` out of reports when a run was degenerate (zero retired
+/// instructions, truncated measurement).
+#[must_use]
+pub fn safe_ratio(num: f64, den: f64) -> f64 {
+    let r = num / den;
+    if den > 0.0 && r.is_finite() {
+        r
+    } else {
+        0.0
+    }
 }
 
 /// Geometric mean (used for figure-level averages of speedups).
@@ -115,6 +141,35 @@ mod tests {
         let shared = [0.5, 0.5];
         let alone = [1.0, 1.0];
         assert!((weighted_speedup(&shared, &alone) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_speedup_survives_zero_and_nonfinite_alone_ipc() {
+        // Degenerate denominators must never leak NaN/inf into reports.
+        let shared = [1.0, 0.5, 2.0];
+        assert!((weighted_speedup(&shared, &[0.0, 1.0, 2.0]) - 1.5).abs() < 1e-12);
+        assert!((weighted_speedup(&shared, &[f64::NAN, 1.0, f64::INFINITY]) - 0.5).abs() < 1e-12);
+        assert_eq!(weighted_speedup(&[0.0, 0.0], &[0.0, 0.0]), 0.0);
+        assert!(weighted_speedup(&shared, &[0.0, 0.0, 0.0]).is_finite());
+    }
+
+    #[test]
+    fn ipc_and_mpki_are_finite_with_zero_retired_instructions() {
+        // A run truncated at cycle 0 retires nothing; every report metric
+        // must still be a finite number.
+        use crate::config::{ConfigKind, SystemConfig};
+        use crate::system::System;
+        use figaro_workloads::{generate_trace, profile_by_name};
+        let p = profile_by_name("mcf").unwrap();
+        let trace = generate_trace(&p, 1_000, 1);
+        let mut sys = System::new(SystemConfig::paper(1, ConfigKind::Base), vec![trace], &[1_000]);
+        let s = sys.run(0);
+        assert_eq!(s.instructions[0], 0);
+        assert!(s.ipc(0).is_finite() && s.ipc(0) == 0.0);
+        assert!(s.mpki(0).is_finite() && s.mpki(0) == 0.0);
+        assert!(s.row_hit_rate().is_finite());
+        assert!(s.cache_hit_rate().is_finite());
+        assert!(weighted_speedup(&[s.ipc(0)], &[s.ipc(0)]).is_finite());
     }
 
     #[test]

@@ -48,6 +48,50 @@ impl FigureData {
         values.get(col).copied()
     }
 
+    /// Renders the table as CSV (header row, then one line per row; notes
+    /// become trailing `# comment` lines) — the machine-readable form of
+    /// [`FigureData::render`] for sweep post-processing.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let escape = |s: &str| {
+            if s.contains([',', '"', '\n']) {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.to_string()
+            }
+        };
+        let mut out = String::new();
+        let _ = write!(out, "{}", escape("row"));
+        for c in &self.columns {
+            let _ = write!(out, ",{}", escape(c));
+        }
+        let _ = writeln!(out);
+        for (label, values) in &self.rows {
+            let _ = write!(out, "{}", escape(label));
+            for v in values {
+                let _ = write!(out, ",{v}");
+            }
+            let _ = writeln!(out);
+        }
+        for n in &self.notes {
+            // A multi-line note gets a `#` per line, so consumers that
+            // skip comment lines never see a bare continuation line.
+            for line in n.lines() {
+                let _ = writeln!(out, "# {line}");
+            }
+        }
+        out
+    }
+
+    /// Writes [`FigureData::to_csv`] to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and write errors.
+    pub fn write_csv(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_csv())
+    }
+
     /// Renders the table with aligned columns.
     #[must_use]
     pub fn render(&self) -> String {
@@ -99,6 +143,31 @@ mod tests {
         assert!(text.contains("row1"));
         assert!(text.contains("1.2500"));
         assert!(text.contains("note: shape holds"));
+    }
+
+    #[test]
+    fn csv_has_header_rows_and_comment_notes() {
+        let mut f = sample();
+        f.push_note("with, comma");
+        f.push_note("multi\nline");
+        let csv = f.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "row,A,B");
+        assert_eq!(lines[1], "row1,1,2");
+        assert_eq!(lines[2], "row2,0.5,1.25");
+        // Every remaining line is a comment — a multi-line note must not
+        // leak a bare continuation line into the data section.
+        assert!(lines[3..].iter().all(|l| l.starts_with("# ")));
+        assert_eq!(lines[3..].len(), 4);
+    }
+
+    #[test]
+    fn csv_escapes_labels() {
+        let mut f = FigureData::new("t", vec!["a,b".into()]);
+        f.push_row("he said \"hi\"", vec![1.0]);
+        let csv = f.to_csv();
+        assert!(csv.contains("\"a,b\""));
+        assert!(csv.contains("\"he said \"\"hi\"\"\""));
     }
 
     #[test]

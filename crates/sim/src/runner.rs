@@ -23,7 +23,10 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use rayon::prelude::*;
 
-use figaro_workloads::{generate_trace, AppProfile, Mix, Trace, TraceOp};
+use figaro_workloads::{
+    generate_trace, AppProfile, Mix, PhasedGenerator, PhasedProfile, Trace, TraceGenerator,
+    TraceOp, TraceSource,
+};
 
 use crate::config::{ConfigKind, Kernel, SystemConfig};
 use crate::metrics::RunStats;
@@ -116,6 +119,10 @@ pub struct RunSummary {
     pub avg_read_latency: f64,
     /// Segment/row insertions completed.
     pub insertions: u64,
+    /// Cores that hit the cycle cap before their instruction target
+    /// (see [`RunStats::unfinished_cores`]); non-zero means the summary
+    /// is a truncated measurement, and report builders flag it.
+    pub truncated_cores: u64,
 }
 
 impl RunSummary {
@@ -134,6 +141,7 @@ impl RunSummary {
             lisa_clones: s.dram.lisa_clones,
             avg_read_latency: s.mc.avg_read_latency(),
             insertions: s.cache.insertions,
+            truncated_cores: s.unfinished_cores() as u64,
         }
     }
 
@@ -147,7 +155,7 @@ impl RunSummary {
     fn to_text(&self) -> String {
         let vec_join = |v: &[f64]| v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(",");
         format!(
-            "ipc {}\nmpki {}\nrow_hit_rate {}\ncache_hit_rate {}\nenergy {},{},{},{},{}\ncpu_cycles {}\nrelocs {}\nlisa_clones {}\navg_read_latency {}\ninsertions {}\n",
+            "ipc {}\nmpki {}\nrow_hit_rate {}\ncache_hit_rate {}\nenergy {},{},{},{},{}\ncpu_cycles {}\nrelocs {}\nlisa_clones {}\navg_read_latency {}\ninsertions {}\ntruncated_cores {}\n",
             vec_join(&self.ipc),
             vec_join(&self.mpki),
             self.row_hit_rate,
@@ -162,6 +170,7 @@ impl RunSummary {
             self.lisa_clones,
             self.avg_read_latency,
             self.insertions,
+            self.truncated_cores,
         )
     }
 
@@ -188,6 +197,8 @@ impl RunSummary {
             lisa_clones: map.get("lisa_clones")?.parse().ok()?,
             avg_read_latency: map.get("avg_read_latency")?.parse().ok()?,
             insertions: map.get("insertions")?.parse().ok()?,
+            // Absent in cache files written before the field existed.
+            truncated_cores: map.get("truncated_cores").map_or(Some(0), |v| v.parse().ok())?,
         })
     }
 }
@@ -231,6 +242,173 @@ fn insts_for(profile: &AppProfile, scale: Scale) -> u64 {
     let base = scale.target_insts();
     let scaled = (base as f64 * (profile.nonmem_per_mem + 1.0) / 3.0) as u64;
     scaled.clamp(base, base * 12)
+}
+
+/// The workload of a [`Scenario`] — always **streamed** (cores pull from
+/// generators on demand; nothing materializes a full trace in memory, so
+/// scenario length is bounded by simulation time, not RAM).
+#[derive(Debug, Clone)]
+pub enum ScenarioWorkload {
+    /// One application per core (defines the core count).
+    Apps(Vec<AppProfile>),
+    /// An eight-application multiprogrammed mix.
+    Mix(Mix),
+    /// One phase-switching workload per core.
+    Phased(Vec<PhasedProfile>),
+}
+
+impl ScenarioWorkload {
+    /// Number of cores the workload occupies.
+    #[must_use]
+    pub fn cores(&self) -> usize {
+        match self {
+            ScenarioWorkload::Apps(apps) => apps.len(),
+            ScenarioWorkload::Mix(m) => m.apps.len(),
+            ScenarioWorkload::Phased(ps) => ps.len(),
+        }
+    }
+
+    /// Mean non-memory instructions per memory op of core `i` (used to
+    /// convert op targets to instruction targets).
+    fn nonmem_per_mem(&self, core: usize) -> f64 {
+        match self {
+            ScenarioWorkload::Apps(apps) => apps[core].nonmem_per_mem,
+            ScenarioWorkload::Mix(m) => m.apps[core].nonmem_per_mem,
+            ScenarioWorkload::Phased(ps) => ps[core].base.nonmem_per_mem,
+        }
+    }
+
+    fn profile_for_insts(&self, core: usize) -> AppProfile {
+        match self {
+            ScenarioWorkload::Apps(apps) => apps[core],
+            ScenarioWorkload::Mix(m) => m.apps[core],
+            ScenarioWorkload::Phased(ps) => ps[core].base,
+        }
+    }
+
+    /// Cache-key fragment identifying the workload (so two scenarios that
+    /// reuse a name with different workloads never share a cached
+    /// result). Phased workloads include the schedule in the signature:
+    /// a reconfigured schedule is a different workload.
+    fn cache_signature(&self) -> String {
+        match self {
+            ScenarioWorkload::Apps(apps) => {
+                format!("apps.{}", apps.iter().map(|p| p.name).collect::<Vec<_>>().join("."))
+            }
+            ScenarioWorkload::Mix(m) => format!("mix.{}", m.name),
+            ScenarioWorkload::Phased(ps) => {
+                let parts: Vec<String> = ps
+                    .iter()
+                    .map(|p| {
+                        let sched: Vec<String> = p
+                            .phases
+                            .iter()
+                            .map(|ph| format!("{}{}", ph.kind.label(), ph.ops))
+                            .collect();
+                        format!("{}.{}", p.name, sched.join("-"))
+                    })
+                    .collect();
+                format!("phased.{}", parts.join("."))
+            }
+        }
+    }
+
+    /// Streaming source for core `core` (deterministic per scenario).
+    fn source_for(&self, core: usize) -> Box<dyn TraceSource> {
+        match self {
+            ScenarioWorkload::Apps(apps) => {
+                let p = &apps[core];
+                Box::new(TraceGenerator::new(p, seed_for(p.name, core)))
+            }
+            ScenarioWorkload::Mix(m) => {
+                let p = &m.apps[core];
+                Box::new(TraceGenerator::new(p, seed_for(p.name, core)))
+            }
+            ScenarioWorkload::Phased(ps) => {
+                let p = &ps[core];
+                Box::new(PhasedGenerator::new(p, seed_for(&p.name, core)))
+            }
+        }
+    }
+}
+
+/// One named simulation scenario: a streamed workload, a mechanism, and
+/// optional system-shape overrides (the sensitivity-sweep axes). Runs
+/// through [`Runner::run_scenario`] / [`Runner::run_scenario_batch`] and
+/// shares the runner's result cache.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name (reports; part of the cache key together with the
+    /// workload signature and every override, so reused names with
+    /// different shapes or workloads never collide).
+    pub name: String,
+    /// Mechanism under evaluation.
+    pub kind: ConfigKind,
+    /// The streamed workload.
+    pub workload: ScenarioWorkload,
+    /// Memory-channel override (power of two; default: paper rule).
+    pub channels: Option<u32>,
+    /// Per-core MSHR override (default: paper's 8).
+    pub mshrs_per_core: Option<usize>,
+    /// Per-core instruction-target override (default: the runner scale's
+    /// per-profile target). This is what long-run scenarios set.
+    pub target_insts: Option<u64>,
+}
+
+impl Scenario {
+    /// A scenario with no overrides.
+    #[must_use]
+    pub fn new(name: impl Into<String>, kind: ConfigKind, workload: ScenarioWorkload) -> Self {
+        Self {
+            name: name.into(),
+            kind,
+            workload,
+            channels: None,
+            mshrs_per_core: None,
+            target_insts: None,
+        }
+    }
+
+    /// Overrides the channel count.
+    #[must_use]
+    pub fn with_channels(mut self, channels: u32) -> Self {
+        self.channels = Some(channels);
+        self
+    }
+
+    /// Overrides the per-core MSHR count.
+    #[must_use]
+    pub fn with_mshrs(mut self, mshrs: usize) -> Self {
+        self.mshrs_per_core = Some(mshrs);
+        self
+    }
+
+    /// Overrides the per-core instruction target.
+    #[must_use]
+    pub fn with_target_insts(mut self, insts: u64) -> Self {
+        self.target_insts = Some(insts);
+        self
+    }
+
+    /// A long-run streaming scenario: `ops_per_core` memory operations
+    /// per core, converted to an instruction target via each core's mean
+    /// non-memory-per-memory ratio. The **maximum** across cores is used
+    /// so even the sparsest core retires enough instructions to reach its
+    /// op count. With streamed sources the memory footprint is
+    /// independent of `ops_per_core`.
+    #[must_use]
+    pub fn long_run(
+        name: impl Into<String>,
+        kind: ConfigKind,
+        workload: ScenarioWorkload,
+        ops_per_core: u64,
+    ) -> Self {
+        let insts = (0..workload.cores())
+            .map(|c| (ops_per_core as f64 * (workload.nonmem_per_mem(c) + 1.0)) as u64)
+            .max()
+            .unwrap_or(ops_per_core);
+        Self::new(name, kind, workload).with_target_insts(insts)
+    }
 }
 
 /// The experiment runner.
@@ -436,6 +614,52 @@ impl Runner {
         summary.ipc[0]
     }
 
+    /// Runs one [`Scenario`]: builds the system shape (paper defaults plus
+    /// the scenario's overrides) and drives it from **streaming** sources,
+    /// so even 100M-op-per-core runs hold no materialized traces.
+    pub fn run_scenario(&self, sc: &Scenario) -> RunSummary {
+        let cores = sc.workload.cores();
+        assert!(cores > 0, "scenario needs at least one core");
+        let key = format!(
+            "{}-scn-{}-{}-{}-ch{}-m{}-t{}{}",
+            self.scale.label(),
+            sc.name,
+            sc.workload.cache_signature(),
+            config_key(&sc.kind),
+            sc.channels.map_or_else(|| "def".into(), |c| c.to_string()),
+            sc.mshrs_per_core.map_or_else(|| "def".into(), |m| m.to_string()),
+            sc.target_insts.map_or_else(|| "def".into(), |t| t.to_string()),
+            self.kernel_suffix()
+        );
+        let mut cfg = self.system_config(cores, sc.kind.clone());
+        if let Some(ch) = sc.channels {
+            cfg = cfg.with_channels(ch);
+        }
+        if let Some(m) = sc.mshrs_per_core {
+            cfg = cfg.with_mshrs(m);
+        }
+        let targets: Vec<u64> = (0..cores)
+            .map(|c| {
+                sc.target_insts
+                    .unwrap_or_else(|| insts_for(&sc.workload.profile_for_insts(c), self.scale))
+            })
+            .collect();
+        let max_cycles = targets.iter().max().copied().unwrap_or(1).saturating_mul(400);
+        let workload = sc.workload.clone();
+        self.cached(&key, move || {
+            let sources: Vec<Box<dyn TraceSource>> =
+                (0..cores).map(|c| workload.source_for(c)).collect();
+            let mut sys = System::from_sources(cfg, sources, &targets);
+            RunSummary::from_stats(&sys.run(max_cycles))
+        })
+    }
+
+    /// Runs a batch of scenarios in parallel; results in input order,
+    /// bit-identical to calling [`Runner::run_scenario`] serially.
+    pub fn run_scenario_batch(&self, scenarios: &[Scenario]) -> Vec<RunSummary> {
+        scenarios.par_iter().map(|sc| self.run_scenario(sc)).collect::<Vec<_>>()
+    }
+
     /// Runs a batch of single-core jobs in parallel; results in input
     /// order, bit-identical to calling [`Runner::run_single`] serially.
     pub fn run_single_batch(&self, jobs: &[(AppProfile, ConfigKind)]) -> Vec<RunSummary> {
@@ -539,9 +763,37 @@ mod tests {
             lisa_clones: 0,
             avg_read_latency: 55.5,
             insertions: 9,
+            truncated_cores: 1,
         };
         let t = s.to_text();
-        assert_eq!(RunSummary::from_text(&t), Some(s));
+        assert_eq!(RunSummary::from_text(&t), Some(s.clone()));
+        // Cache files written before `truncated_cores` existed still load.
+        let legacy: String = t
+            .lines()
+            .filter(|l| !l.starts_with("truncated_cores"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let loaded = RunSummary::from_text(&legacy).expect("legacy cache entry must parse");
+        assert_eq!(loaded.truncated_cores, 0);
+        assert_eq!(loaded.ipc, s.ipc);
+    }
+
+    #[test]
+    fn truncated_runs_are_flagged_in_the_summary() {
+        // A run stopped by its cycle cap short of the instruction target
+        // must say so instead of passing the truncation off as a
+        // measurement; a completed run must not.
+        let p = profile_by_name("mcf").unwrap();
+        let run_capped = |max_cycles: u64| {
+            let trace = generate_trace(&p, 20_000, 3);
+            let mut sys =
+                System::new(SystemConfig::paper(1, ConfigKind::Base), vec![trace], &[20_000]);
+            RunSummary::from_stats(&sys.run(max_cycles))
+        };
+        let truncated = run_capped(5_000);
+        assert_eq!(truncated.truncated_cores, 1);
+        let completed = run_capped(20_000 * 400);
+        assert_eq!(completed.truncated_cores, 0);
     }
 
     #[test]
@@ -615,6 +867,98 @@ mod tests {
         let reloaded = Runner::with_cache_dir(Scale::Tiny, dir.clone());
         assert_eq!(reloaded.run_single(&p, ConfigKind::Base), out[0]);
         let _ = std::fs::remove_dir_all(dir.parent().unwrap());
+    }
+
+    #[test]
+    fn scenario_runs_streamed_and_deterministic() {
+        let runner = Runner::uncached(Scale::Tiny);
+        let sc = Scenario::new(
+            "smoke",
+            ConfigKind::FigCacheFast,
+            ScenarioWorkload::Apps(vec![profile_by_name("mcf").unwrap()]),
+        )
+        .with_target_insts(20_000);
+        let a = runner.run_scenario(&sc);
+        let b = runner.run_scenario(&sc);
+        assert_eq!(a, b, "scenario runs must be deterministic");
+        assert!(a.ipc[0] > 0.0);
+    }
+
+    #[test]
+    fn scenario_overrides_change_the_system_shape() {
+        let runner = Runner::uncached(Scale::Tiny);
+        let mix = figaro_workloads::eight_core_mixes()
+            .into_iter()
+            .find(|m| m.category == figaro_workloads::MixCategory::Intensive100)
+            .unwrap();
+        let base = Scenario::new("shape", ConfigKind::Base, ScenarioWorkload::Mix(mix.clone()))
+            .with_target_insts(4_000);
+        let narrow = base.clone().with_channels(1).with_mshrs(4);
+        let wide = base.with_channels(4).with_mshrs(16);
+        let results = runner.run_scenario_batch(&[narrow, wide]);
+        assert_eq!(results.len(), 2);
+        let (narrow, wide) = (&results[0], &results[1]);
+        assert!(
+            wide.ipc.iter().sum::<f64>() > narrow.ipc.iter().sum::<f64>(),
+            "4 channels / 16 MSHRs must outrun 1 channel / 4 MSHRs on an intensive mix"
+        );
+    }
+
+    #[test]
+    fn phased_scenario_crosses_phase_boundaries() {
+        let runner = Runner::uncached(Scale::Tiny);
+        let phased = figaro_workloads::phased_profiles().remove(0);
+        let sc = Scenario::new(
+            "phased",
+            ConfigKind::FigCacheFast,
+            ScenarioWorkload::Phased(vec![phased]),
+        )
+        .with_target_insts(30_000);
+        let s = runner.run_scenario(&sc);
+        assert!(s.ipc[0] > 0.0);
+        assert!(s.insertions > 0, "phase churn must exercise the cache engine");
+    }
+
+    #[test]
+    fn scenario_cache_keys_distinguish_workloads() {
+        // Two scenarios reusing a name with different workloads must not
+        // share a cached result.
+        let dir = std::env::temp_dir()
+            .join(format!("figaro-cache-test-{}", std::process::id()))
+            .join("scn");
+        let _ = std::fs::remove_dir_all(&dir);
+        let runner = Runner::with_cache_dir(Scale::Tiny, dir.clone());
+        let sc = |app: &str| {
+            Scenario::new(
+                "same-name",
+                ConfigKind::Base,
+                ScenarioWorkload::Apps(vec![profile_by_name(app).unwrap()]),
+            )
+            .with_target_insts(10_000)
+        };
+        let mcf = runner.run_scenario(&sc("mcf"));
+        let sjeng = runner.run_scenario(&sc("sjeng"));
+        assert_ne!(mcf, sjeng, "different workloads under one name must not collide");
+        assert!(
+            sjeng.mpki[0] < mcf.mpki[0],
+            "sjeng must really have run (not mcf's cache entry): {} vs {}",
+            sjeng.mpki[0],
+            mcf.mpki[0]
+        );
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap());
+    }
+
+    #[test]
+    fn long_run_target_scales_with_op_count() {
+        let apps = vec![profile_by_name("mcf").unwrap()];
+        let sc = Scenario::long_run(
+            "long",
+            ConfigKind::Base,
+            ScenarioWorkload::Apps(apps.clone()),
+            1_000_000,
+        );
+        let expected = (1_000_000.0 * (apps[0].nonmem_per_mem + 1.0)) as u64;
+        assert_eq!(sc.target_insts, Some(expected));
     }
 
     #[test]

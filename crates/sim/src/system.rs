@@ -23,7 +23,7 @@ use figaro_cpu::{CacheHierarchy, TraceCore};
 use figaro_dram::AddressMapping;
 use figaro_energy::{DramEnergyModel, SystemActivity, SystemEnergyModel};
 use figaro_memctrl::{Completion, MemoryController, Request};
-use figaro_workloads::Trace;
+use figaro_workloads::{Trace, TraceSource};
 
 use crate::config::{Kernel, SystemConfig};
 use crate::metrics::RunStats;
@@ -58,7 +58,27 @@ impl System {
     /// `cfg.cores` or the configuration is internally inconsistent.
     #[must_use]
     pub fn new(cfg: SystemConfig, traces: Vec<Trace>, targets: &[u64]) -> Self {
-        assert_eq!(traces.len(), cfg.cores, "one trace per core");
+        let sources: Vec<Box<dyn TraceSource>> =
+            traces.into_iter().map(|t| Box::new(t.into_source()) as Box<dyn TraceSource>).collect();
+        Self::from_sources(cfg, sources, targets)
+    }
+
+    /// Builds a system whose cores pull operations from streaming
+    /// [`TraceSource`]s — generators, phased workloads, or trace-file
+    /// replays — so run length never costs memory for a materialized
+    /// trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of sources or targets does not match
+    /// `cfg.cores` or the configuration is internally inconsistent.
+    #[must_use]
+    pub fn from_sources(
+        cfg: SystemConfig,
+        sources: Vec<Box<dyn TraceSource>>,
+        targets: &[u64],
+    ) -> Self {
+        assert_eq!(sources.len(), cfg.cores, "one trace source per core");
         assert_eq!(targets.len(), cfg.cores, "one instruction target per core");
         let dram = cfg.dram_config();
         dram.validate().expect("dram config must validate");
@@ -67,11 +87,11 @@ impl System {
             .map(|ch| MemoryController::new(&dram, cfg.mc, ch, cfg.build_engine(&dram)))
             .collect();
         let hierarchy = CacheHierarchy::new(cfg.hierarchy, cfg.cores);
-        let cores: Vec<TraceCore> = traces
+        let cores: Vec<TraceCore> = sources
             .into_iter()
             .zip(targets)
             .enumerate()
-            .map(|(i, (t, &target))| TraceCore::new(i, cfg.core, t, target))
+            .map(|(i, (s, &target))| TraceCore::from_source(i, cfg.core, s, target))
             .collect();
         let channels = cfg.channels as usize;
         let bus_shift = cfg
@@ -423,6 +443,100 @@ mod tests {
         };
         assert_eq!(reference.cpu_cycles, 50_000);
         assert_eq!(reference, event);
+    }
+
+    #[test]
+    fn event_kernel_matches_reference_with_saturated_channel_backlog() {
+        // Regression for the backlog path: shrink one channel's queues so
+        // `route_requests` parks requests in the per-channel backlog, and
+        // raise the per-core MSHRs so four pointer-chasing cores keep the
+        // queue pinned at capacity. The event kernel's horizon must
+        // include the cycle the queue frees — any time-jump past the
+        // drain point diverges from the reference (and would starve the
+        // backlogged requests).
+        let run = |kernel: Kernel| {
+            let apps = ["mcf", "com", "tigr", "mum"];
+            let traces: Vec<Trace> = apps
+                .iter()
+                .enumerate()
+                .map(|(i, n)| generate_trace(&profile_by_name(n).unwrap(), 8_000, 31 + i as u64))
+                .collect();
+            let mut cfg = SystemConfig { kernel, ..SystemConfig::paper(4, ConfigKind::Base) };
+            cfg.channels = 1; // every request contends for one controller
+            cfg.mc.read_queue_cap = 4;
+            cfg.mc.write_queue_cap = 4;
+            cfg.mc.wq_high = 3;
+            cfg.mc.wq_low = 1;
+            cfg.hierarchy.mshrs_per_core = 16;
+            let mut sys = System::new(cfg, traces, &[10_000; 4]);
+            sys.run(40_000_000)
+        };
+        let reference = run(Kernel::Reference);
+        let event = run(Kernel::Event);
+        assert_eq!(reference, event, "kernel divergence under backlog saturation");
+        for core in 0..4 {
+            assert_eq!(reference.instructions[core], 10_000, "core {core} starved");
+        }
+        // The shape must actually have exercised the backlog: with 64
+        // outstanding misses possible and 4 queue slots, far more requests
+        // were enqueued than fit at once.
+        assert!(reference.mc.enq_reads > 100, "workload must stress the queue");
+    }
+
+    #[test]
+    fn streaming_sources_match_materialized_traces_end_to_end() {
+        // A full system driven by generator sources must be bit-identical
+        // to the same system driven by (non-wrapping) materialized traces
+        // of those generators.
+        use figaro_workloads::{TraceGenerator, TraceSource};
+        let apps = ["mcf", "lbm"];
+        let cfg = || SystemConfig::paper(2, ConfigKind::FigCacheFast);
+        let materialized = {
+            let traces: Vec<Trace> = apps
+                .iter()
+                .map(|n| generate_trace(&profile_by_name(n).unwrap(), 60_000, 5))
+                .collect();
+            let mut sys = System::new(cfg(), traces, &[12_000; 2]);
+            sys.run(10_000_000)
+        };
+        let streamed = {
+            let sources: Vec<Box<dyn TraceSource>> = apps
+                .iter()
+                .map(|n| {
+                    Box::new(TraceGenerator::new(&profile_by_name(n).unwrap(), 5))
+                        as Box<dyn TraceSource>
+                })
+                .collect();
+            let mut sys = System::from_sources(cfg(), sources, &[12_000; 2]);
+            sys.run(10_000_000)
+        };
+        assert_eq!(materialized, streamed);
+    }
+
+    #[test]
+    fn recorded_run_replays_bit_identically() {
+        // Record a streaming run's op stream to the compact on-disk
+        // format, then drive a fresh system from the file: RunStats must
+        // round-trip bit-for-bit.
+        use figaro_workloads::{FileReplay, RecordingSource, TraceGenerator};
+        let p = profile_by_name("zeusmp").unwrap();
+        let path = std::env::temp_dir().join(format!("figaro-replay-{}.figt", std::process::id()));
+        let cfg = || SystemConfig::paper(1, ConfigKind::FigCacheFast);
+        let recorded = {
+            let rec = RecordingSource::create(TraceGenerator::new(&p, 21), &path)
+                .expect("create recording");
+            let mut sys = System::from_sources(cfg(), vec![Box::new(rec)], &[20_000]);
+            sys.run(10_000_000)
+            // Dropping the system flushes the recording via the buffered
+            // writer's Drop.
+        };
+        let replayed = {
+            let src = FileReplay::open(&path).expect("open recording");
+            let mut sys = System::from_sources(cfg(), vec![Box::new(src)], &[20_000]);
+            sys.run(10_000_000)
+        };
+        assert_eq!(recorded, replayed, "record → replay must be bit-identical");
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

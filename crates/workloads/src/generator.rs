@@ -25,8 +25,11 @@ const GROUP: u32 = 8;
 const BANK_RESIDUES: u64 = 64;
 
 /// Streaming generator over an application profile. Implements
-/// [`Iterator`] and never ends (traces wrap naturally); use
-/// [`generate_trace`] for a fixed-length [`Trace`].
+/// [`Iterator`] (and [`crate::TraceSource`]) and never ends; its only
+/// buffered state is the burst in progress — a bounded lookahead window
+/// of at most a few hundred operations — so a consumer pulling ops on
+/// demand simulates arbitrarily long traces in constant memory. Use
+/// [`generate_trace`] for a fixed-length materialized [`Trace`].
 #[derive(Debug, Clone)]
 pub struct TraceGenerator {
     profile: AppProfile,
@@ -37,7 +40,8 @@ pub struct TraceGenerator {
     /// Active hot segments this phase (indices into the hot-segment space).
     phase_set: Vec<u32>,
     ops_left_in_phase: u32,
-    /// Remaining (addr, is_write)s of the burst in progress.
+    /// Remaining (addr, is_write)s of the burst in progress — the bounded
+    /// lookahead window (one group/stream visit's worth of accesses).
     burst: Vec<(u64, bool)>,
     /// Streaming pointer (block index within the footprint).
     stream_block: u64,
@@ -77,6 +81,12 @@ impl TraceGenerator {
         };
         gen.redraw_phase();
         gen
+    }
+
+    /// Name of the profile being generated.
+    #[must_use]
+    pub fn profile_name(&self) -> &'static str {
+        self.profile.name
     }
 
     /// The page (row) a hot segment lives in. Placement rules:

@@ -32,10 +32,14 @@
 pub mod apps;
 pub mod generator;
 pub mod mixes;
+pub mod phased;
+pub mod trace_io;
 
 pub use apps::{app_profiles, multithreaded_profiles, profile_by_name, AppProfile};
 pub use generator::{generate_trace, TraceGenerator};
 pub use mixes::{eight_core_mixes, Mix, MixCategory};
+pub use phased::{phased_profiles, Phase, PhaseKind, PhasedGenerator, PhasedProfile};
+pub use trace_io::{read_trace_file, write_trace_file, FileReplay, RecordingSource, TraceWriter};
 
 /// One trace record: `nonmem` non-memory instructions, then a memory
 /// access to `addr`.
@@ -72,6 +76,77 @@ impl Trace {
             return 0.0;
         }
         self.ops.iter().filter(|o| o.is_write).count() as f64 / self.ops.len() as f64
+    }
+
+    /// Turns the materialized trace into a streaming [`TraceSource`] that
+    /// wraps around at the end (the classic trace-driven-core behavior).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trace (an op source must be infinite).
+    #[must_use]
+    pub fn into_source(self) -> TraceReplay {
+        TraceReplay::new(self)
+    }
+}
+
+/// A pull-based, **infinite** supplier of trace operations.
+///
+/// This is what a trace-driven core consumes: instead of materializing a
+/// whole `Vec<TraceOp>` up front (whose length costs memory), a source
+/// hands out one operation at a time from a bounded internal window — a
+/// generator's current burst buffer, a file reader's read-ahead buffer,
+/// or a wrapped finite [`Trace`]. Sources never end; finite backing
+/// stores wrap around. Implementations must be deterministic: the same
+/// construction yields the same op sequence, which is what keeps
+/// streaming runs reproducible and replayable.
+pub trait TraceSource: std::fmt::Debug + Send {
+    /// Name of the workload the source models (reports, cache keys).
+    fn name(&self) -> &str;
+
+    /// The next operation in program order.
+    fn next_op(&mut self) -> TraceOp;
+}
+
+/// [`TraceSource`] over a materialized [`Trace`], wrapping at the end.
+#[derive(Debug, Clone)]
+pub struct TraceReplay {
+    trace: Trace,
+    pos: usize,
+}
+
+impl TraceReplay {
+    /// Wraps `trace` into an endless source.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty trace.
+    #[must_use]
+    pub fn new(trace: Trace) -> Self {
+        assert!(!trace.ops.is_empty(), "trace must be non-empty");
+        Self { trace, pos: 0 }
+    }
+}
+
+impl TraceSource for TraceReplay {
+    fn name(&self) -> &str {
+        &self.trace.name
+    }
+
+    fn next_op(&mut self) -> TraceOp {
+        let op = self.trace.ops[self.pos];
+        self.pos = (self.pos + 1) % self.trace.ops.len();
+        op
+    }
+}
+
+impl TraceSource for TraceGenerator {
+    fn name(&self) -> &str {
+        self.profile_name()
+    }
+
+    fn next_op(&mut self) -> TraceOp {
+        self.next().expect("trace generators are endless")
     }
 }
 

@@ -1,0 +1,304 @@
+//! Phase-switching application profiles: workloads that alternate
+//! between qualitatively different access regimes — a hot-set regime
+//! (the FIGCache-friendly scattered-fragment reuse of the base
+//! profiles), a streaming regime (long sequential sweeps, little reuse)
+//! and a pointer-chase regime (single-block visits, no spatial
+//! locality) — on a fixed schedule.
+//!
+//! Real applications move through such phases (the PIM-methodology
+//! literature calls this out as a property synthetic traces routinely
+//! miss), and phase changes are exactly what stresses an in-DRAM cache's
+//! insertion/replacement machinery: the hot set built during one phase
+//! turns worthless in the next. Each phase derives its parameters from
+//! one base [`AppProfile`], keeping the footprint and hot-segment
+//! placement identical across phases so regimes contend for the *same*
+//! rows rather than disjoint address spaces.
+
+use crate::apps::AppProfile;
+use crate::generator::TraceGenerator;
+use crate::{TraceOp, TraceSource};
+
+/// The access regime of one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PhaseKind {
+    /// The base profile's own hot-set behavior, intensified: almost every
+    /// access targets the hot fragments.
+    HotSet,
+    /// Sequential sweeps across the footprint with restarts; the hot set
+    /// is barely touched.
+    Streaming,
+    /// Dependent single-block visits over the hot pages: no bursts, no
+    /// spatial locality, group span 1.
+    PointerChase,
+}
+
+impl PhaseKind {
+    /// Label for scenario names and reports.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            PhaseKind::HotSet => "hot",
+            PhaseKind::Streaming => "stream",
+            PhaseKind::PointerChase => "chase",
+        }
+    }
+
+    /// Derives this regime's generator profile from `base`. Footprint,
+    /// hot-segment count/size and phase structure stay untouched (same
+    /// address layout); only the regime knobs move.
+    #[must_use]
+    pub fn derive(&self, base: &AppProfile) -> AppProfile {
+        match self {
+            PhaseKind::HotSet => {
+                AppProfile { hot_fraction: base.hot_fraction.clamp(0.9, 0.98), ..*base }
+            }
+            PhaseKind::Streaming => AppProfile {
+                hot_fraction: 0.05,
+                stream_burst: base.stream_burst.max(12.0),
+                ..*base
+            },
+            PhaseKind::PointerChase => AppProfile {
+                hot_fraction: 0.9,
+                hot_burst: 1.0,
+                stream_burst: 1.0,
+                group_span: 1.0,
+                ..*base
+            },
+        }
+    }
+}
+
+/// One phase of a schedule: a regime held for `ops` memory operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Phase {
+    /// The access regime.
+    pub kind: PhaseKind,
+    /// Memory operations before switching to the next phase.
+    pub ops: u64,
+}
+
+/// A named phase-switching workload built over one base profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasedProfile {
+    /// Workload name (e.g. `mcf-phased`).
+    pub name: String,
+    /// The base profile phases derive from.
+    pub base: AppProfile,
+    /// The phase schedule, cycled forever.
+    pub phases: Vec<Phase>,
+}
+
+impl PhasedProfile {
+    /// The default three-regime schedule over `base`: hot-set, streaming,
+    /// pointer-chase, each held for `phase_ops` operations.
+    #[must_use]
+    pub fn standard(base: AppProfile, phase_ops: u64) -> Self {
+        Self {
+            name: format!("{}-phased", base.name),
+            base,
+            phases: vec![
+                Phase { kind: PhaseKind::HotSet, ops: phase_ops },
+                Phase { kind: PhaseKind::Streaming, ops: phase_ops },
+                Phase { kind: PhaseKind::PointerChase, ops: phase_ops },
+            ],
+        }
+    }
+
+    /// Sanity-checks the schedule and every derived phase profile.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.phases.is_empty() {
+            return Err(format!("{}: empty phase schedule", self.name));
+        }
+        if let Some(p) = self.phases.iter().find(|p| p.ops == 0) {
+            return Err(format!("{}: zero-length {} phase", self.name, p.kind.label()));
+        }
+        for p in &self.phases {
+            p.kind.derive(&self.base).validate()?;
+        }
+        Ok(())
+    }
+}
+
+/// Streaming generator over a [`PhasedProfile`]: one [`TraceGenerator`]
+/// per **schedule slot**, switched on the schedule. A slot's internal
+/// state (Zipf phase sets, stream pointers) persists each time the
+/// schedule cycles back to that slot; two slots sharing a regime are
+/// still independent generators with distinct seeds. Infinite and
+/// deterministic, with the same bounded lookahead as the underlying
+/// generators.
+#[derive(Debug, Clone)]
+pub struct PhasedGenerator {
+    profile: PhasedProfile,
+    /// Generator per schedule slot (slots sharing a regime share state
+    /// only if they are literally the same slot; regimes are cheap).
+    gens: Vec<TraceGenerator>,
+    phase_idx: usize,
+    ops_left: u64,
+    /// Phase transitions so far (observability for tests/reports).
+    switches: u64,
+}
+
+impl PhasedGenerator {
+    /// Creates a deterministic phased generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile fails [`PhasedProfile::validate`].
+    #[must_use]
+    pub fn new(profile: &PhasedProfile, seed: u64) -> Self {
+        profile.validate().unwrap_or_else(|e| panic!("{e}"));
+        let gens = profile
+            .phases
+            .iter()
+            .enumerate()
+            .map(|(i, p)| {
+                // Distinct seeds per slot keep regimes decorrelated while
+                // the whole schedule stays a pure function of `seed`.
+                TraceGenerator::new(&p.kind.derive(&profile.base), seed ^ (i as u64) << 32)
+            })
+            .collect();
+        let ops_left = profile.phases[0].ops;
+        Self { profile: profile.clone(), gens, phase_idx: 0, ops_left, switches: 0 }
+    }
+
+    /// The schedule slot currently generating.
+    #[must_use]
+    pub fn current_phase(&self) -> PhaseKind {
+        self.profile.phases[self.phase_idx].kind
+    }
+
+    /// Phase transitions performed so far.
+    #[must_use]
+    pub fn switches(&self) -> u64 {
+        self.switches
+    }
+}
+
+impl Iterator for PhasedGenerator {
+    type Item = TraceOp;
+
+    fn next(&mut self) -> Option<TraceOp> {
+        if self.ops_left == 0 {
+            self.phase_idx = (self.phase_idx + 1) % self.profile.phases.len();
+            self.ops_left = self.profile.phases[self.phase_idx].ops;
+            self.switches += 1;
+        }
+        self.ops_left -= 1;
+        self.gens[self.phase_idx].next()
+    }
+}
+
+impl TraceSource for PhasedGenerator {
+    fn name(&self) -> &str {
+        &self.profile.name
+    }
+
+    fn next_op(&mut self) -> TraceOp {
+        self.next().expect("phased generators are endless")
+    }
+}
+
+/// A default set of phased workloads: one per representative intensive
+/// base profile, with a schedule short enough that tiny-scale runs cross
+/// several phase boundaries.
+#[must_use]
+pub fn phased_profiles() -> Vec<PhasedProfile> {
+    ["mcf", "zeusmp", "lbm"]
+        .iter()
+        .map(|n| {
+            let base = crate::apps::profile_by_name(n).expect("base profile exists");
+            PhasedProfile::standard(base, 20_000)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::profile_by_name;
+
+    fn mcf_phased() -> PhasedProfile {
+        PhasedProfile::standard(profile_by_name("mcf").unwrap(), 1_000)
+    }
+
+    #[test]
+    fn default_profiles_validate() {
+        for p in phased_profiles() {
+            p.validate().unwrap_or_else(|e| panic!("{e}"));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_endless() {
+        let p = mcf_phased();
+        let a: Vec<TraceOp> = PhasedGenerator::new(&p, 11).take(10_000).collect();
+        let b: Vec<TraceOp> = PhasedGenerator::new(&p, 11).take(10_000).collect();
+        assert_eq!(a, b);
+        let c: Vec<TraceOp> = PhasedGenerator::new(&p, 12).take(10_000).collect();
+        assert_ne!(a, c, "different seeds must differ");
+    }
+
+    #[test]
+    fn phases_switch_on_schedule() {
+        let p = mcf_phased();
+        let mut gen = PhasedGenerator::new(&p, 5);
+        assert_eq!(gen.current_phase(), PhaseKind::HotSet);
+        for _ in 0..1_000 {
+            let _ = gen.next();
+        }
+        // The 1001st op belongs to the next phase.
+        let _ = gen.next();
+        assert_eq!(gen.current_phase(), PhaseKind::Streaming);
+        for _ in 0..(2 * 1_000) {
+            let _ = gen.next();
+        }
+        assert_eq!(gen.current_phase(), PhaseKind::HotSet, "schedule must wrap");
+        assert_eq!(gen.switches(), 3);
+    }
+
+    #[test]
+    fn regimes_differ_in_access_character() {
+        // Discriminate the regimes by sequentiality: the fraction of
+        // accesses that continue the previous block. Streaming sweeps are
+        // highly sequential, pointer chasing is not at all.
+        let base = profile_by_name("zeusmp").unwrap();
+        let sequential_fraction = |kind: PhaseKind| {
+            let p = PhasedProfile {
+                name: "probe".into(),
+                base,
+                phases: vec![Phase { kind, ops: 8_000 }],
+            };
+            let ops: Vec<TraceOp> = PhasedGenerator::new(&p, 7).take(8_000).collect();
+            let seq = ops.windows(2).filter(|w| w[1].addr == w[0].addr + 64).count();
+            seq as f64 / (ops.len() - 1) as f64
+        };
+        let stream = sequential_fraction(PhaseKind::Streaming);
+        let chase = sequential_fraction(PhaseKind::PointerChase);
+        assert!(
+            stream > 0.7 && chase < 0.1,
+            "streaming must be sequential, chasing must not (stream {stream:.3}, chase {chase:.3})"
+        );
+    }
+
+    #[test]
+    fn addresses_stay_in_footprint_across_phases() {
+        let p = mcf_phased();
+        for op in PhasedGenerator::new(&p, 3).take(20_000) {
+            assert!(op.addr < p.base.footprint_bytes);
+        }
+    }
+
+    #[test]
+    fn empty_schedule_is_rejected() {
+        let p = PhasedProfile {
+            name: "bad".into(),
+            base: profile_by_name("mcf").unwrap(),
+            phases: vec![],
+        };
+        assert!(p.validate().is_err());
+    }
+}

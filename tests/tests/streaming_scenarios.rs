@@ -1,0 +1,107 @@
+//! Cross-crate tests of the streaming workload & scenario subsystem.
+//!
+//! Fast tier (default): a tiny streaming-trace scenario end to end —
+//! generator-fed cores, a record→replay round trip over the on-disk
+//! trace format, scenario overrides, and the phased workloads — plus the
+//! kernel-equivalence shape for streamed sources.
+//!
+//! Slow tier: the long-run acceptance shape (an 8-core streaming mix at
+//! millions of ops per core with bounded memory), `#[ignore]`d behind
+//! `FIGARO_SLOW_TESTS=1` like the other paper-shape tests; the full
+//! 100M-ops-per-core run is reachable through the `streaming_scenarios`
+//! bench's `FIGARO_LONG_RUN` knob.
+
+use figaro_sim::experiments::long_run_scenarios;
+use figaro_sim::{
+    ConfigKind, Kernel, Runner, Scale, Scenario, ScenarioWorkload, System, SystemConfig,
+};
+use figaro_tests::{slow_guard, SLOW_HINT};
+use figaro_workloads::{
+    phased_profiles, profile_by_name, FileReplay, RecordingSource, TraceGenerator, TraceSource,
+};
+
+#[test]
+fn tiny_streaming_scenario_completes() {
+    // The CI smoke: one streamed FIGCache scenario with shape overrides.
+    let runner = Runner::uncached(Scale::Tiny);
+    let sc = Scenario::new(
+        "ci-stream",
+        ConfigKind::FigCacheFast,
+        ScenarioWorkload::Apps(vec![
+            profile_by_name("mcf").unwrap(),
+            profile_by_name("lbm").unwrap(),
+        ]),
+    )
+    .with_channels(2)
+    .with_mshrs(8)
+    .with_target_insts(15_000);
+    let s = runner.run_scenario(&sc);
+    assert!(s.ipc.iter().all(|&i| i > 0.0), "both cores must retire");
+    assert!(s.relocs > 0, "FIGCache must relocate under the streamed workload");
+    assert!(s.ipc.iter().all(|i| i.is_finite()));
+}
+
+#[test]
+fn streamed_sources_are_kernel_equivalent() {
+    // The event kernel must stay bit-identical to the reference when the
+    // cores pull from live generators instead of materialized traces.
+    let run = |kernel: Kernel| {
+        let sources: Vec<Box<dyn TraceSource>> = ["mcf", "zeusmp"]
+            .iter()
+            .map(|n| {
+                Box::new(TraceGenerator::new(&profile_by_name(n).unwrap(), 13))
+                    as Box<dyn TraceSource>
+            })
+            .collect();
+        let cfg = SystemConfig { kernel, ..SystemConfig::paper(2, ConfigKind::FigCacheFast) };
+        let mut sys = System::from_sources(cfg, sources, &[10_000; 2]);
+        sys.run(10_000_000)
+    };
+    assert_eq!(run(Kernel::Reference), run(Kernel::Event));
+}
+
+#[test]
+fn phased_workload_record_replay_round_trips() {
+    // Record a phased streaming run; replaying the file must reproduce
+    // the RunStats bit for bit (the acceptance property of the trace
+    // format).
+    let phased = phased_profiles().remove(0);
+    let path =
+        std::env::temp_dir().join(format!("figaro-phased-replay-{}.figt", std::process::id()));
+    let cfg = || SystemConfig::paper(1, ConfigKind::FigCacheFast);
+    let recorded = {
+        let gen = figaro_workloads::PhasedGenerator::new(&phased, 3);
+        let rec = RecordingSource::create(gen, &path).expect("create recording");
+        let mut sys = System::from_sources(cfg(), vec![Box::new(rec)], &[25_000]);
+        sys.run(10_000_000)
+    };
+    let replayed = {
+        let src = FileReplay::open(&path).expect("open recording");
+        assert_eq!(src.name(), phased.name);
+        let mut sys = System::from_sources(cfg(), vec![Box::new(src)], &[25_000]);
+        sys.run(10_000_000)
+    };
+    assert_eq!(recorded, replayed);
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+#[ignore = "slow paper-shape test: run with FIGARO_SLOW_TESTS=1 cargo test -- --include-ignored"]
+fn long_run_streaming_mix_completes_with_bounded_memory() {
+    if !slow_guard("long_run_streaming_mix_completes_with_bounded_memory") {
+        return;
+    }
+    let _ = SLOW_HINT;
+    // The acceptance shape scaled to the slow tier: an 8-core streaming
+    // mix at 2M memory ops per core, fed entirely by generators — the
+    // resident set is the system model plus per-core burst buffers,
+    // independent of the op count. `FIGARO_LONG_OPS` raises the op count
+    // (the full criterion runs 100M via the streaming_scenarios bench).
+    let ops: u64 =
+        std::env::var("FIGARO_LONG_OPS").ok().and_then(|v| v.parse().ok()).unwrap_or(2_000_000);
+    let runner = Runner::uncached(Scale::Tiny);
+    let sc = &long_run_scenarios(ops)[0];
+    let s = runner.run_scenario(sc);
+    assert!(s.ipc.iter().all(|&i| i > 0.0), "all eight cores must retire");
+    assert!(s.cpu_cycles > ops, "a long run must simulate past its op count in cycles");
+}
