@@ -59,9 +59,11 @@ fn bench_controller_tick(c: &mut Criterion) {
             },
             |mut mc| {
                 let mut now = 0;
+                let mut scratch = Vec::new();
                 while !mc.is_idle() && now < 100_000 {
                     mc.tick(now);
-                    let _ = mc.drain_completions();
+                    scratch.clear();
+                    mc.drain_completions_into(&mut scratch);
                     now += 1;
                 }
                 black_box(now)

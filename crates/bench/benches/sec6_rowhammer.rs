@@ -16,6 +16,7 @@ fn hammer(mut mc: MemoryController, rounds: u64) -> (u32, u64) {
     let mut now = 0u64;
     let mut issued = 0u64;
     let mut id = 0u64;
+    let mut scratch = Vec::new();
     while issued < rounds * 2 {
         if mc.can_accept(false) {
             let aggressor = issued % 2; // rows 0 and 1 of bank 0
@@ -31,12 +32,14 @@ fn hammer(mut mc: MemoryController, rounds: u64) -> (u32, u64) {
             issued += 1;
         }
         mc.tick(now);
-        let _ = mc.drain_completions();
+        scratch.clear();
+        mc.drain_completions_into(&mut scratch);
         now += 1;
     }
     while !mc.is_idle() && now < 10_000_000 {
         mc.tick(now);
-        let _ = mc.drain_completions();
+        scratch.clear();
+        mc.drain_completions_into(&mut scratch);
         now += 1;
     }
     let mon = mc.activation_monitor().expect("monitor enabled");

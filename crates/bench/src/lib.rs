@@ -16,7 +16,11 @@
 //!   the representative subset;
 //! * `FIGARO_LONG_RUN=<ops>` — append long-run streaming mixes (that
 //!   many memory operations per core, bounded memory at any length) to
-//!   the `streaming_scenarios` target.
+//!   the `streaming_scenarios` target;
+//! * `FIGARO_SCHED=frfcfs|fcfs|frfcfs-cap<N>|wdrain<H>-<L>` — the
+//!   memory-controller scheduling policy (non-default policies get
+//!   their own result-cache keys; the `sched_sweep` target compares
+//!   them explicitly).
 //!
 //! The `micro` target contains Criterion micro-benchmarks of simulator
 //! hot paths (DRAM command issue, controller scheduling, tag-store

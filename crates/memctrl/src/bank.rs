@@ -1,0 +1,77 @@
+//! Per-bank controller state.
+//!
+//! The controller keeps one [`BankState`] per bank of its channel: the
+//! bank's (precomputed) address, the relocation-job slot the cache
+//! engine's jobs execute in, and the [`BankAgg`] scratch the flat-scan
+//! event-horizon path aggregates queue entries into. The DRAM-side row
+//! state (open row, must-precharge, pinned subarrays) lives in
+//! [`figaro_dram::DramChannel`]; `BankAgg` caches a snapshot of it for
+//! the duration of one horizon scan.
+
+use figaro_core::RelocationJob;
+use figaro_dram::{BankAddr, DramGeometry, RowId};
+
+/// Controller-side state of one bank.
+#[derive(Debug)]
+pub struct BankState {
+    /// The bank's decoded address (precomputed from the flat index).
+    pub addr: BankAddr,
+    /// The relocation job currently executing on this bank, if any.
+    pub job: Option<RelocationJob>,
+    /// Scratch for the flat-scan horizon aggregation (reset per scan).
+    pub agg: BankAgg,
+}
+
+impl BankState {
+    /// State for flat bank index `flat` of `geometry`.
+    #[must_use]
+    pub fn new(flat: u32, geometry: &DramGeometry) -> Self {
+        let rank = flat / geometry.banks_per_rank();
+        let rem = flat % geometry.banks_per_rank();
+        let addr = BankAddr {
+            rank,
+            bankgroup: rem / geometry.banks_per_group,
+            bank: rem % geometry.banks_per_group,
+        };
+        Self { addr, job: None, agg: BankAgg::default() }
+    }
+}
+
+/// Per-bank aggregate of one queue for the event-horizon scan: DRAM
+/// timing for column commands is column-independent and for ACT/PRE
+/// row-independent (pinned banks excepted), so one `earliest_issue` per
+/// bank and command class covers every queued entry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BankAgg {
+    /// The bank appeared in the scanned queue.
+    pub seen: bool,
+    /// The bank's open row, read once at first touch.
+    pub open: Option<RowId>,
+    /// Some entry's serve row is the open row (suppresses prep for the
+    /// whole bank, exactly like the prep scan's same-row check).
+    pub has_hit: bool,
+    /// A read entry hits the open row.
+    pub read_hit: bool,
+    /// A write entry hits the open row.
+    pub write_hit: bool,
+    /// Serve row of the first entry needing ACT/PRE, if any.
+    pub prep_row: Option<RowId>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use figaro_dram::DramConfig;
+
+    #[test]
+    fn flat_index_round_trips_through_bank_addr() {
+        let g = DramConfig::ddr4_paper_default().geometry;
+        for flat in 0..g.banks_per_channel() {
+            let st = BankState::new(flat, &g);
+            let back = (st.addr.rank * g.bankgroups + st.addr.bankgroup) * g.banks_per_group
+                + st.addr.bank;
+            assert_eq!(back, flat);
+            assert!(st.job.is_none());
+        }
+    }
+}

@@ -1,12 +1,21 @@
-//! The per-channel memory controller: queues, FR-FCFS scheduling, write
-//! drain, refresh, and relocation-job execution.
+//! The per-channel memory controller: queue management, write drain,
+//! refresh, relocation-job execution, and the event-horizon contract.
+//!
+//! Demand scheduling itself is delegated to the pluggable
+//! [`SchedPolicy`](crate::scheduler::SchedPolicy) selected by
+//! [`McConfig::sched`]; queue storage is the per-bank
+//! [`IndexedQueue`](crate::queues::IndexedQueue); per-bank state (job
+//! slots, horizon scratch) lives in [`BankState`](crate::bank::BankState).
 
-use figaro_core::{CacheEngine, CacheStats, RelocationJob, RowHammerMonitor};
+use figaro_core::{CacheEngine, CacheStats, RowHammerMonitor};
 use figaro_dram::{
-    AddressMapping, BankAddr, Cycle, DramChannel, DramCommand, DramConfig, DramStats, RowId,
+    AddressMapping, BankAddr, Cycle, DramChannel, DramCommand, DramConfig, DramStats,
 };
 
+use crate::bank::BankState;
+use crate::queues::{Entry, IndexedQueue};
 use crate::request::{Completion, Request};
+use crate::scheduler::{self, PrepAction, SchedPolicy, SchedPolicyKind};
 
 /// Whether the `FIGARO_FREE_RELOC` debug ablation is active. Read once
 /// per process (the controller consults it on the tick hot path and the
@@ -32,6 +41,12 @@ pub struct McConfig {
     /// Record per-row activation counts with this window (RowHammer
     /// analysis); `None` disables monitoring.
     pub activation_window: Option<Cycle>,
+    /// Demand-scheduling policy (default: FR-FCFS, the paper's ladder).
+    pub sched: SchedPolicyKind,
+    /// Use the pre-refactor flat queue scans instead of the per-bank
+    /// indexes. Selection is identical either way; this exists as the
+    /// wall-clock baseline for the `sched_sweep` bench.
+    pub flat_scan: bool,
 }
 
 impl Default for McConfig {
@@ -43,6 +58,8 @@ impl Default for McConfig {
             wq_low: 16,
             enable_refresh: true,
             activation_window: None,
+            sched: SchedPolicyKind::FrFcfs,
+            flat_scan: false,
         }
     }
 }
@@ -106,52 +123,8 @@ impl McStats {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Entry {
-    req: Request,
-    bank: BankAddr,
-    flat_bank: u32,
-    serve_row: RowId,
-    serve_col: u32,
-    saw_act: bool,
-    saw_conflict: bool,
-}
-
-/// Per-bank aggregate of one queue for `queue_horizon`: DRAM timing for
-/// column commands is column-independent and for ACT/PRE row-independent
-/// (pinned banks excepted), so one `earliest_issue` per bank and command
-/// class covers every queued entry.
-#[derive(Debug, Clone, Copy)]
-struct BankAgg {
-    bank: BankAddr,
-    seen: bool,
-    /// The bank's open row, read once at first touch.
-    open: Option<RowId>,
-    /// Some entry's serve row is the open row (suppresses prep for the
-    /// whole bank, exactly like the prep scan's same-row check).
-    has_hit: bool,
-    read_hit: bool,
-    write_hit: bool,
-    /// Serve row of the first entry needing ACT/PRE, if any.
-    prep_row: Option<RowId>,
-}
-
-impl Default for BankAgg {
-    fn default() -> Self {
-        Self {
-            bank: BankAddr { rank: 0, bankgroup: 0, bank: 0 },
-            seen: false,
-            open: None,
-            has_hit: false,
-            read_hit: false,
-            write_hit: false,
-            prep_row: None,
-        }
-    }
-}
-
-/// One channel's memory controller. See the crate docs for the scheduling
-/// policy.
+/// One channel's memory controller. See the crate docs for the module
+/// map and the scheduling policy.
 #[derive(Debug)]
 pub struct MemoryController {
     cfg: McConfig,
@@ -159,19 +132,23 @@ pub struct MemoryController {
     channel: DramChannel,
     channel_id: u32,
     engine: Box<dyn CacheEngine>,
-    read_q: Vec<Entry>,
-    write_q: Vec<Entry>,
+    policy: Box<dyn SchedPolicy>,
+    read_q: IndexedQueue,
+    write_q: IndexedQueue,
     drain_writes: bool,
+    /// Write-drain watermarks as resolved by the policy (defaults to the
+    /// configured `wq_high`/`wq_low`).
+    wq_high: usize,
+    wq_low: usize,
     next_refresh: Cycle,
     refresh_pending: bool,
-    jobs: Vec<Option<RelocationJob>>,
+    banks: Vec<BankState>,
     completions: Vec<Completion>,
     stats: McStats,
     monitor: Option<RowHammerMonitor>,
-    /// Scratch for `queue_horizon` (allocated once, reset per call).
-    bank_agg: Vec<BankAgg>,
+    /// Scratch listing the banks whose `BankAgg` is live (flat scans).
     agg_touched: Vec<u32>,
-    /// Scratch for `pending_start_horizon`'s per-bank demand flags.
+    /// Scratch for the flat-scan `pending_start_horizon` demand flags.
     demand_scratch: Vec<bool>,
     /// Memoized event horizon (`None` = stale). Invalidated by every
     /// [`MemoryController::tick`]; [`MemoryController::enqueue`] updates
@@ -190,26 +167,36 @@ impl MemoryController {
         engine: Box<dyn CacheEngine>,
     ) -> Self {
         let banks = dram.geometry.banks_per_channel() as usize;
+        let policy = cfg.sched.build(banks);
+        let (wq_high, wq_low) = policy.watermarks(cfg.wq_high, cfg.wq_low);
         Self {
             cfg,
             mapping: AddressMapping::new(dram.geometry),
             channel: DramChannel::new(dram),
             channel_id,
             engine,
-            read_q: Vec::with_capacity(cfg.read_queue_cap),
-            write_q: Vec::with_capacity(cfg.write_queue_cap),
+            policy,
+            read_q: IndexedQueue::new(banks, cfg.read_queue_cap),
+            write_q: IndexedQueue::new(banks, cfg.write_queue_cap),
             drain_writes: false,
+            wq_high,
+            wq_low,
             next_refresh: Cycle::from(dram.timing.refi),
             refresh_pending: false,
-            jobs: vec![None; banks],
+            banks: (0..banks as u32).map(|f| BankState::new(f, &dram.geometry)).collect(),
             completions: Vec::new(),
             stats: McStats::default(),
             monitor: cfg.activation_window.map(RowHammerMonitor::new),
-            bank_agg: vec![BankAgg::default(); banks],
             agg_touched: Vec::with_capacity(banks),
             demand_scratch: vec![false; banks],
             horizon: None,
         }
+    }
+
+    /// The scheduling policy in force.
+    #[must_use]
+    pub fn sched(&self) -> SchedPolicyKind {
+        self.policy.kind()
     }
 
     /// Whether a request of the given kind can be accepted this cycle.
@@ -250,13 +237,22 @@ impl MemoryController {
         };
         if req.is_write {
             self.stats.enq_writes += 1;
-            self.write_q.push(entry);
+            self.write_q.push_back(entry);
             self.horizon_note_enqueue(&entry, now, true);
         } else {
             self.stats.enq_reads += 1;
             // Read-around-write forwarding: a queued write to the same
-            // block satisfies the read without touching DRAM.
-            if self.write_q.iter().any(|w| w.req.addr == req.addr) {
+            // cache block satisfies the read without touching DRAM (the
+            // comparison is block-aligned, so a sub-block-offset read
+            // still matches; a block maps to one bank, so only that
+            // bank's bucket is probed on the indexed path).
+            let forwarded = if self.cfg.flat_scan {
+                let block = Request::block_of(req.addr);
+                self.write_q.iter().any(|(_, w)| Request::block_of(w.req.addr) == block)
+            } else {
+                self.write_q.bank_has_block(flat, req.addr)
+            };
+            if forwarded {
                 self.stats.reads_served += 1;
                 self.stats.forwarded += 1;
                 self.stats.read_latency_sum += 1;
@@ -272,7 +268,7 @@ impl MemoryController {
                 self.horizon_note_enqueue(&entry, now, false);
                 return;
             }
-            self.read_q.push(entry);
+            self.read_q.push_back(entry);
             self.horizon_note_enqueue(&entry, now, true);
         }
     }
@@ -280,9 +276,9 @@ impl MemoryController {
     /// The write-drain decision the next tick will make, given queue
     /// lengths (the hysteresis flag itself only changes on ticks).
     fn effective_serve_writes(&self, read_len: usize, write_len: usize) -> bool {
-        let drain = if write_len >= self.cfg.wq_high {
+        let drain = if write_len >= self.wq_high {
             true
-        } else if write_len <= self.cfg.wq_low {
+        } else if write_len <= self.wq_low {
             false
         } else {
             self.drain_writes
@@ -294,15 +290,18 @@ impl MemoryController {
     /// invalidating it: the timing state is untouched by an enqueue, so
     /// existing candidates keep their times and only the new entry (plus a
     /// possibly just-scheduled relocation job) adds candidates. The added
-    /// candidate is conservative — suppression by same-row entries or
-    /// job setup can only defer the real action, and a too-early horizon
-    /// merely costs a no-op tick. A flip of the active serve queue changes
-    /// the candidate set wholesale, so that falls back to a recompute.
+    /// candidate is conservative — suppression by same-row entries, job
+    /// setup or the scheduling policy can only defer the real action, and
+    /// a too-early horizon merely costs a no-op tick. A flip of the active
+    /// serve queue changes the candidate set wholesale, so that falls back
+    /// to a recompute.
     fn horizon_note_enqueue(&mut self, e: &Entry, now: Cycle, queued: bool) {
         let Some(cached) = self.horizon else { return };
         let mut cand = Cycle::MAX;
         // The engine consult may have scheduled a pending relocation job.
-        if self.jobs[e.flat_bank as usize].is_none() && self.engine.has_pending_job(e.flat_bank) {
+        if self.banks[e.flat_bank as usize].job.is_none()
+            && self.engine.has_pending_job(e.flat_bank)
+        {
             cand = now;
         }
         if queued {
@@ -315,11 +314,7 @@ impl MemoryController {
             if e.req.is_write == self.effective_serve_writes(r, w) {
                 let open = self.channel.open_row(e.bank);
                 let cmd = if open == Some(e.serve_row) {
-                    if e.req.is_write {
-                        DramCommand::Write { col: e.serve_col, auto_pre: false }
-                    } else {
-                        DramCommand::Read { col: e.serve_col, auto_pre: false }
-                    }
+                    scheduler::column_cmd(e)
                 } else if open.is_some() {
                     DramCommand::Precharge
                 } else {
@@ -342,13 +337,18 @@ impl MemoryController {
     }
 
     /// Takes all completions produced so far.
+    #[deprecated(
+        since = "0.1.0",
+        note = "allocates a fresh Vec per call; use `drain_completions_into` \
+                with a reused buffer instead"
+    )]
     pub fn drain_completions(&mut self) -> Vec<Completion> {
         std::mem::take(&mut self.completions)
     }
 
     /// Moves all completions into `out` (appended in production order),
-    /// keeping both buffers' capacity — the allocation-free form of
-    /// [`MemoryController::drain_completions`] for per-cycle callers.
+    /// keeping both buffers' capacity — the allocation-free form for
+    /// per-cycle callers.
     pub fn drain_completions_into(&mut self, out: &mut Vec<Completion>) {
         out.append(&mut self.completions);
     }
@@ -365,9 +365,9 @@ impl MemoryController {
     pub fn is_idle(&self) -> bool {
         self.read_q.is_empty()
             && self.write_q.is_empty()
-            && self.jobs.iter().all(Option::is_none)
+            && self.banks.iter().all(|b| b.job.is_none())
             && self.completions.is_empty()
-            && !(0..self.jobs.len()).any(|b| self.engine.has_pending_job(b as u32))
+            && !(0..self.banks.len()).any(|b| self.engine.has_pending_job(b as u32))
     }
 
     /// Request-level statistics.
@@ -407,11 +407,9 @@ impl MemoryController {
     }
 
     fn issue(&mut self, bank: BankAddr, cmd: &DramCommand, now: Cycle) -> Cycle {
+        let g = self.mapping.geometry();
+        let flat = (bank.rank * g.bankgroups + bank.bankgroup) * g.banks_per_group + bank.bank;
         if let Some(m) = &mut self.monitor {
-            let flat = {
-                let g = self.mapping.geometry();
-                (bank.rank * g.bankgroups + bank.bankgroup) * g.banks_per_group + bank.bank
-            };
             match *cmd {
                 DramCommand::Activate { row } | DramCommand::ActivateMerge { row } => {
                     m.record_act(flat, row, now);
@@ -423,6 +421,7 @@ impl MemoryController {
                 _ => {}
             }
         }
+        self.policy.on_issue(flat, cmd);
         self.channel.issue(bank, cmd, now).completes_at
     }
 
@@ -439,16 +438,16 @@ impl MemoryController {
             && !self.refresh_pending
             && (!self.cfg.enable_refresh || now < self.next_refresh)
         {
-            let any_job = self.jobs.iter().any(Option::is_some)
-                || (0..self.jobs.len()).any(|b| self.engine.has_pending_job(b as u32));
+            let any_job = self.banks.iter().any(|b| b.job.is_some())
+                || (0..self.banks.len()).any(|b| self.engine.has_pending_job(b as u32));
             if !any_job {
                 return;
             }
         }
         // Write-drain hysteresis; also drain opportunistically when idle.
-        if self.write_q.len() >= self.cfg.wq_high {
+        if self.write_q.len() >= self.wq_high {
             self.drain_writes = true;
-        } else if self.write_q.len() <= self.cfg.wq_low {
+        } else if self.write_q.len() <= self.wq_low {
             self.drain_writes = false;
         }
         let serve_writes =
@@ -473,8 +472,8 @@ impl MemoryController {
             }
             self.start_pending_jobs(now);
         }
-        // Priority 1: ready row-hit column commands (demand).
-        if self.try_issue_row_hit(serve_writes, now) {
+        // Priority 1: ready demand column commands (policy pick).
+        if self.try_issue_column(serve_writes, now) {
             return;
         }
         // Priority 2: RELOC trains — both in-flight (pinned) ones and
@@ -485,7 +484,7 @@ impl MemoryController {
         if self.try_issue_job_step(now, true) {
             return;
         }
-        // Priority 3: oldest-first ACT/PRE for waiting demand requests.
+        // Priority 3: ACT/PRE for waiting demand requests (policy pick).
         if self.try_issue_demand_prep(serve_writes, now) {
             return;
         }
@@ -546,8 +545,8 @@ impl MemoryController {
             // so a refresh-pending controller can never go to sleep forever.
             return Some(best.min(self.refresh_horizon(from)));
         }
-        let any_job = self.jobs.iter().any(Option::is_some);
-        let any_pending = self.engine.has_any_pending_job(self.jobs.len() as u32);
+        let any_job = self.banks.iter().any(|b| b.job.is_some());
+        let any_pending = self.engine.has_any_pending_job(self.banks.len() as u32);
         if self.read_q.is_empty() && self.write_q.is_empty() && !any_job && !any_pending {
             return (best != Cycle::MAX).then_some(best);
         }
@@ -558,7 +557,16 @@ impl MemoryController {
         // Write-drain hysteresis exactly as the next tick will compute it
         // (queue lengths cannot change between events).
         let serve_writes = self.effective_serve_writes(self.read_q.len(), self.write_q.len());
-        best = best.min(self.queue_horizon(serve_writes, from));
+        let queue = if serve_writes { &self.write_q } else { &self.read_q };
+        best = best.min(scheduler::queue_horizon(
+            self.policy.as_ref(),
+            queue,
+            &mut self.banks,
+            &mut self.agg_touched,
+            &self.channel,
+            from,
+            self.cfg.flat_scan,
+        ));
         if any_job {
             best = best.min(self.job_step_horizon(from));
         }
@@ -587,22 +595,16 @@ impl MemoryController {
     /// refresh for the rest of the run.
     fn refresh_horizon(&self, from: Cycle) -> Cycle {
         let retry = from + 1;
-        if self.jobs.iter().any(Option::is_some) {
+        if self.banks.iter().any(|b| b.job.is_some()) {
             let h = self.job_step_horizon(from);
             return if h == Cycle::MAX { retry } else { h };
         }
-        let g = *self.mapping.geometry();
-        for rank in 0..g.ranks {
-            for bg in 0..g.bankgroups {
-                for b in 0..g.banks_per_group {
-                    let bank = BankAddr { rank, bankgroup: bg, bank: b };
-                    if self.channel.open_row(bank).is_some() || self.channel.must_precharge(bank) {
-                        return self
-                            .channel
-                            .next_ready(bank, &DramCommand::Precharge, from)
-                            .unwrap_or(retry);
-                    }
-                }
+        for st in &self.banks {
+            if self.channel.open_row(st.addr).is_some() || self.channel.must_precharge(st.addr) {
+                return self
+                    .channel
+                    .next_ready(st.addr, &DramCommand::Precharge, from)
+                    .unwrap_or(retry);
             }
         }
         let bank = BankAddr { rank: 0, bankgroup: 0, bank: 0 };
@@ -615,16 +617,15 @@ impl MemoryController {
     /// the first one can).
     fn job_step_horizon(&self, from: Cycle) -> Cycle {
         let mut best = Cycle::MAX;
-        for bank_idx in 0..self.jobs.len() {
-            let Some(job) = self.jobs[bank_idx] else { continue };
-            let bank = self.bank_addr_of(bank_idx as u32);
-            let open = self.channel.open_row(bank);
-            let must_pre = self.channel.must_precharge(bank);
+        for st in &self.banks {
+            let Some(job) = st.job else { continue };
+            let open = self.channel.open_row(st.addr);
+            let must_pre = self.channel.must_precharge(st.addr);
             match job.peek(open, must_pre) {
                 // Defensive retire path in `try_issue_job_step`.
                 None => best = best.min(from),
                 Some(cmd) => {
-                    if let Some(t) = self.channel.next_ready(bank, &cmd, from) {
+                    if let Some(t) = self.channel.next_ready(st.addr, &cmd, from) {
                         best = best.min(t);
                     }
                 }
@@ -633,116 +634,43 @@ impl MemoryController {
         best
     }
 
-    /// Earliest cycle at which the active queue could make progress: the
-    /// union of `try_issue_row_hit` (column command on the open row) and
-    /// `try_issue_demand_prep` (ACT/PRE under its skip conditions).
-    ///
-    /// One pass aggregates the queue per bank, then one `earliest_issue`
-    /// per bank and command class covers every entry: READ/WRITE timing is
-    /// column-independent, ACT/PRE timing row-independent — except on a
-    /// pinned bank, where ACT legality depends on the target subarray and
-    /// the entries are re-walked individually (rare).
-    fn queue_horizon(&mut self, serve_writes: bool, from: Cycle) -> Cycle {
-        let queue = if serve_writes { &self.write_q } else { &self.read_q };
-        if queue.is_empty() {
-            return Cycle::MAX;
+    /// Whether any demand request waits on `flat_bank` — O(1) on the
+    /// per-bank indexes, a queue scan on the flat-scan baseline.
+    fn bank_has_demand(&self, flat_bank: u32) -> bool {
+        if self.cfg.flat_scan {
+            self.read_q.iter().chain(self.write_q.iter()).any(|(_, e)| e.flat_bank == flat_bank)
+        } else {
+            self.read_q.bank_len(flat_bank) > 0 || self.write_q.bank_len(flat_bank) > 0
         }
-        for &b in &self.agg_touched {
-            self.bank_agg[b as usize] = BankAgg::default();
-        }
-        self.agg_touched.clear();
-        for e in queue {
-            let agg = &mut self.bank_agg[e.flat_bank as usize];
-            if !agg.seen {
-                agg.seen = true;
-                agg.bank = e.bank;
-                agg.open = self.channel.open_row(e.bank);
-                self.agg_touched.push(e.flat_bank);
-            }
-            if agg.open == Some(e.serve_row) {
-                agg.has_hit = true;
-                if e.req.is_write {
-                    agg.write_hit = true;
-                } else {
-                    agg.read_hit = true;
-                }
-            } else if agg.prep_row.is_none() {
-                agg.prep_row = Some(e.serve_row);
-            }
-        }
-        let mut best = Cycle::MAX;
-        for &b in &self.agg_touched {
-            let agg = self.bank_agg[b as usize];
-            if agg.has_hit {
-                // Row-hit candidates; a must-precharge bank serves nothing
-                // (and its same-row entries suppress prep regardless).
-                if !self.channel.must_precharge(agg.bank) {
-                    if agg.read_hit {
-                        let rd = DramCommand::Read { col: 0, auto_pre: false };
-                        if let Some(t) = self.channel.next_ready(agg.bank, &rd, from) {
-                            best = best.min(t);
-                        }
-                    }
-                    if agg.write_hit {
-                        let wr = DramCommand::Write { col: 0, auto_pre: false };
-                        if let Some(t) = self.channel.next_ready(agg.bank, &wr, from) {
-                            best = best.min(t);
-                        }
-                    }
-                }
-                // An entry that can still hit the open row suppresses the
-                // prep scan for every conflicting entry on this bank.
-                continue;
-            }
-            let Some(prep_row) = agg.prep_row else { continue };
-            let pinned = self.channel.is_pinned(agg.bank);
-            if self.jobs[b as usize].is_some() && !pinned {
-                continue; // the bank belongs to a job still setting up
-            }
-            if agg.open.is_some() {
-                if let Some(t) = self.channel.next_ready(agg.bank, &DramCommand::Precharge, from) {
-                    best = best.min(t);
-                }
-            } else if !pinned {
-                let act = DramCommand::Activate { row: prep_row };
-                if let Some(t) = self.channel.next_ready(agg.bank, &act, from) {
-                    best = best.min(t);
-                }
-            } else {
-                // Pinned + closed: ACT legality is per-subarray, so check
-                // each of this bank's entries.
-                let queue = if serve_writes { &self.write_q } else { &self.read_q };
-                for e in queue.iter().filter(|e| e.flat_bank == b) {
-                    let act = DramCommand::Activate { row: e.serve_row };
-                    if let Some(t) = self.channel.next_ready(agg.bank, &act, from) {
-                        best = best.min(t);
-                    }
-                }
-            }
-        }
-        best
     }
 
     /// `from` when `start_pending_jobs` would hand a pending job to a bank
     /// on its next opportunity, [`Cycle::MAX`] otherwise (the gating state
-    /// — open rows and queued demand — only changes at events). One pass
-    /// over the queues marks per-bank demand, so the scan is
-    /// O(queue + banks) rather than O(queue x banks).
+    /// — open rows and queued demand — only changes at events). The
+    /// per-bank indexes answer the demand question in O(1); the flat-scan
+    /// baseline rebuilds the per-bank flags with one queue pass.
     fn pending_start_horizon(&mut self, from: Cycle) -> Cycle {
-        self.demand_scratch.fill(false);
-        for e in self.read_q.iter().chain(self.write_q.iter()) {
-            self.demand_scratch[e.flat_bank as usize] = true;
+        if self.cfg.flat_scan {
+            self.demand_scratch.fill(false);
+            for (_, e) in self.read_q.iter().chain(self.write_q.iter()) {
+                self.demand_scratch[e.flat_bank as usize] = true;
+            }
         }
-        for bank_idx in 0..self.jobs.len() {
-            if self.jobs[bank_idx].is_some() || !self.engine.has_pending_job(bank_idx as u32) {
+        for bank_idx in 0..self.banks.len() {
+            if self.banks[bank_idx].job.is_some() || !self.engine.has_pending_job(bank_idx as u32) {
                 continue;
             }
             let bank = bank_idx as u32;
             let cheap = self
                 .engine
                 .next_job_source(bank)
-                .is_some_and(|src| self.channel.open_row(self.bank_addr_of(bank)) == Some(src));
-            if cheap || !self.demand_scratch[bank_idx] {
+                .is_some_and(|src| self.channel.open_row(self.banks[bank_idx].addr) == Some(src));
+            let has_demand = if self.cfg.flat_scan {
+                self.demand_scratch[bank_idx]
+            } else {
+                self.bank_has_demand(bank)
+            };
+            if cheap || !has_demand {
                 return from;
             }
         }
@@ -751,24 +679,19 @@ impl MemoryController {
 
     fn progress_refresh(&mut self, now: Cycle) {
         // Let active jobs finish first (their banks cannot be interrupted).
-        if self.jobs.iter().any(Option::is_some) {
+        if self.banks.iter().any(|b| b.job.is_some()) {
             let _ = self.try_issue_job_step(now, false);
             return;
         }
         // Close any open bank, one per cycle.
-        let g = *self.mapping.geometry();
-        for rank in 0..g.ranks {
-            for bg in 0..g.bankgroups {
-                for b in 0..g.banks_per_group {
-                    let bank = BankAddr { rank, bankgroup: bg, bank: b };
-                    if self.channel.open_row(bank).is_some() || self.channel.must_precharge(bank) {
-                        if self.channel.can_issue(bank, &DramCommand::Precharge, now) {
-                            self.issue(bank, &DramCommand::Precharge, now);
-                            return;
-                        }
-                        return; // wait for tRAS etc.
-                    }
+        for i in 0..self.banks.len() {
+            let bank = self.banks[i].addr;
+            if self.channel.open_row(bank).is_some() || self.channel.must_precharge(bank) {
+                if self.channel.can_issue(bank, &DramCommand::Precharge, now) {
+                    self.issue(bank, &DramCommand::Precharge, now);
+                    return;
                 }
+                return; // wait for tRAS etc.
             }
         }
         // All banks closed: refresh each rank (single-rank systems issue one).
@@ -791,34 +714,20 @@ impl MemoryController {
         }
     }
 
-    fn try_issue_row_hit(&mut self, serve_writes: bool, now: Cycle) -> bool {
+    /// Priority 1: issue the policy's column-command pick, if any.
+    fn try_issue_column(&mut self, serve_writes: bool, now: Cycle) -> bool {
         let queue = if serve_writes { &self.write_q } else { &self.read_q };
-        let mut best: Option<(usize, Cycle)> = None;
-        for (i, e) in queue.iter().enumerate() {
-            if self.channel.open_row(e.bank) != Some(e.serve_row)
-                || self.channel.must_precharge(e.bank)
-            {
-                continue;
-            }
-            let cmd = if e.req.is_write {
-                DramCommand::Write { col: e.serve_col, auto_pre: false }
-            } else {
-                DramCommand::Read { col: e.serve_col, auto_pre: false }
-            };
-            if self.channel.can_issue(e.bank, &cmd, now) {
-                let arrival = e.req.arrival;
-                if best.is_none_or(|(_, a)| arrival < a) {
-                    best = Some((i, arrival));
-                }
-            }
-        }
-        let Some((idx, _)) = best else { return false };
-        let entry = if serve_writes { self.write_q.remove(idx) } else { self.read_q.remove(idx) };
-        let cmd = if entry.req.is_write {
-            DramCommand::Write { col: entry.serve_col, auto_pre: false }
-        } else {
-            DramCommand::Read { col: entry.serve_col, auto_pre: false }
+        let Some(id) = scheduler::pick_column(
+            self.policy.as_ref(),
+            queue,
+            &self.channel,
+            now,
+            self.cfg.flat_scan,
+        ) else {
+            return false;
         };
+        let entry = if serve_writes { self.write_q.remove(id) } else { self.read_q.remove(id) };
+        let cmd = scheduler::column_cmd(&entry);
         let done = self.issue(entry.bank, &cmd, now);
         self.classify_and_count(&entry);
         if entry.req.is_write {
@@ -840,9 +749,9 @@ impl MemoryController {
     /// commands (`RELOC`/merge) are considered — job setup (precharges,
     /// ensure-open activations, LISA clones) waits for spare slots.
     fn try_issue_job_step(&mut self, now: Cycle, trains_only: bool) -> bool {
-        for bank_idx in 0..self.jobs.len() {
-            let Some(job) = self.jobs[bank_idx] else { continue };
-            let bank = self.bank_addr_of(bank_idx as u32);
+        for bank_idx in 0..self.banks.len() {
+            let Some(job) = self.banks[bank_idx].job else { continue };
+            let bank = self.banks[bank_idx].addr;
             let open = self.channel.open_row(bank);
             let must_pre = self.channel.must_precharge(bank);
             if trains_only
@@ -864,7 +773,7 @@ impl MemoryController {
             };
             if self.channel.can_issue(bank, &cmd, now) {
                 self.issue(bank, &cmd, now);
-                let job_mut = self.jobs[bank_idx].as_mut().expect("job present");
+                let job_mut = self.banks[bank_idx].job.as_mut().expect("job present");
                 job_mut.on_issued(&cmd);
                 if job_mut.is_done() {
                     self.retire_job(bank_idx, now);
@@ -876,14 +785,14 @@ impl MemoryController {
     }
 
     fn retire_job(&mut self, bank_idx: usize, now: Cycle) {
-        if let Some(job) = self.jobs[bank_idx].take() {
+        if let Some(job) = self.banks[bank_idx].job.take() {
             self.engine.on_job_complete(bank_idx as u32, job.id, now);
         }
     }
 
     fn start_pending_jobs(&mut self, now: Cycle) {
-        for bank_idx in 0..self.jobs.len() {
-            if self.jobs[bank_idx].is_some() || !self.engine.has_pending_job(bank_idx as u32) {
+        for bank_idx in 0..self.banks.len() {
+            if self.banks[bank_idx].job.is_some() || !self.engine.has_pending_job(bank_idx as u32) {
                 continue;
             }
             // FIGARO relocations pin two subarrays but leave the rest of
@@ -896,78 +805,43 @@ impl MemoryController {
             let cheap = self
                 .engine
                 .next_job_source(bank)
-                .is_some_and(|src| self.channel.open_row(self.bank_addr_of(bank)) == Some(src));
-            let has_demand =
-                self.read_q.iter().chain(self.write_q.iter()).any(|e| e.flat_bank == bank);
-            if cheap || !has_demand {
-                self.jobs[bank_idx] = self.engine.take_job(bank, now);
+                .is_some_and(|src| self.channel.open_row(self.banks[bank_idx].addr) == Some(src));
+            if cheap || !self.bank_has_demand(bank) {
+                self.banks[bank_idx].job = self.engine.take_job(bank, now);
             }
         }
     }
 
-    fn bank_addr_of(&self, flat: u32) -> BankAddr {
-        let g = self.mapping.geometry();
-        let rank = flat / g.banks_per_rank();
-        let rem = flat % g.banks_per_rank();
-        BankAddr { rank, bankgroup: rem / g.banks_per_group, bank: rem % g.banks_per_group }
-    }
-
+    /// Priority 3: issue the policy's ACT/PRE pick, if any.
     fn try_issue_demand_prep(&mut self, serve_writes: bool, now: Cycle) -> bool {
-        // Oldest-first over the active queue (entries are pushed in arrival
-        // order and removals preserve order, so the queue is sorted); one
-        // ACT or PRE per cycle. Decide immutably, then issue.
-        enum Prep {
-            Act(usize),
-            Pre(usize),
-        }
-        let mut decision = None;
-        {
+        let decision = {
             let queue = if serve_writes { &self.write_q } else { &self.read_q };
-            'outer: for (i, e) in queue.iter().enumerate() {
-                let job_active = self.jobs[e.flat_bank as usize].is_some();
-                if job_active && !self.channel.is_pinned(e.bank) {
-                    continue; // the bank belongs to a job still setting up
-                }
-                match self.channel.open_row(e.bank) {
-                    Some(r) if r == e.serve_row => continue, // handled as a row hit
-                    Some(open) => {
-                        // Conflict: close the row, but not while other
-                        // queued requests can still hit it.
-                        for o in queue {
-                            if o.flat_bank == e.flat_bank && o.serve_row == open {
-                                continue 'outer;
-                            }
-                        }
-                        if self.channel.can_issue(e.bank, &DramCommand::Precharge, now) {
-                            decision = Some(Prep::Pre(i));
-                            break;
-                        }
-                    }
-                    None => {
-                        let act = DramCommand::Activate { row: e.serve_row };
-                        if self.channel.can_issue(e.bank, &act, now) {
-                            decision = Some(Prep::Act(i));
-                            break;
-                        }
-                    }
-                }
-            }
-        }
+            scheduler::pick_prep(
+                self.policy.as_ref(),
+                queue,
+                &self.banks,
+                &self.channel,
+                now,
+                self.cfg.flat_scan,
+            )
+        };
         match decision {
-            Some(Prep::Pre(i)) => {
-                let (bank, _) = {
+            Some(PrepAction::Pre(id)) => {
+                let bank = {
                     let q = if serve_writes { &mut self.write_q } else { &mut self.read_q };
-                    q[i].saw_conflict = true;
-                    (q[i].bank, ())
+                    let e = q.entry_mut(id);
+                    e.saw_conflict = true;
+                    e.bank
                 };
                 self.issue(bank, &DramCommand::Precharge, now);
                 true
             }
-            Some(Prep::Act(i)) => {
+            Some(PrepAction::Act(id)) => {
                 let (bank, row) = {
                     let q = if serve_writes { &mut self.write_q } else { &mut self.read_q };
-                    q[i].saw_act = true;
-                    (q[i].bank, q[i].serve_row)
+                    let e = q.entry_mut(id);
+                    e.saw_act = true;
+                    (e.bank, e.serve_row)
                 };
                 self.issue(bank, &DramCommand::Activate { row }, now);
                 true
@@ -989,6 +863,11 @@ mod tests {
         MemoryController::new(&dram, cfg, 0, Box::new(NullEngine::new()))
     }
 
+    fn base_mc_with(cfg: McConfig) -> MemoryController {
+        let dram = DramConfig::ddr4_paper_default();
+        MemoryController::new(&dram, cfg, 0, Box::new(NullEngine::new()))
+    }
+
     fn fig_mc() -> MemoryController {
         let dram = DramConfig {
             layout: SubarrayLayout::homogeneous(64, 512).with_appended_fast(2, 32),
@@ -1007,6 +886,13 @@ mod tests {
         Request { id, addr: PhysAddr(addr), is_write: true, core: 0, arrival: now }
     }
 
+    /// The allocation-free drain, wrapped for test convenience.
+    fn take_completions(mc: &mut MemoryController) -> Vec<Completion> {
+        let mut out = Vec::new();
+        mc.drain_completions_into(&mut out);
+        out
+    }
+
     /// Ticks until `n` completions exist or `limit` cycles pass.
     fn run_until_completions(
         mc: &mut MemoryController,
@@ -1018,7 +904,7 @@ mod tests {
         let mut t = start;
         while done.len() < n && t < start + limit {
             mc.tick(t);
-            done.extend(mc.drain_completions());
+            mc.drain_completions_into(&mut done);
             t += 1;
         }
         (done, t)
@@ -1078,9 +964,30 @@ mod tests {
         mc.enqueue(write(1, 4096, 0), 0);
         mc.enqueue(read(2, 4096, 1), 1);
         assert_eq!(mc.stats().forwarded, 1);
-        let done = mc.drain_completions();
+        let done = take_completions(&mut mc);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].done_at, 2);
+    }
+
+    #[test]
+    fn sub_block_offset_read_still_forwards() {
+        // Regression: forwarding compares block-aligned addresses, so a
+        // read at a sub-block offset of a queued write's block must be
+        // served from the write queue (previously the exact-address
+        // comparison missed it and the read went to DRAM).
+        for flat_scan in [false, true] {
+            let cfg = McConfig { enable_refresh: false, flat_scan, ..McConfig::default() };
+            let mut mc = base_mc_with(cfg);
+            mc.enqueue(write(1, 4096, 0), 0);
+            mc.enqueue(read(2, 4096 + 24, 1), 1);
+            assert_eq!(mc.stats().forwarded, 1, "flat_scan={flat_scan}");
+            let done = take_completions(&mut mc);
+            assert_eq!(done.len(), 1);
+            assert_eq!(done[0].id, 2);
+            // A read one block over must NOT forward.
+            mc.enqueue(read(3, 4096 + 64, 2), 2);
+            assert_eq!(mc.stats().forwarded, 1, "adjacent block must not forward");
+        }
     }
 
     #[test]
@@ -1200,50 +1107,197 @@ mod tests {
     }
 
     #[test]
-    fn next_event_at_is_never_in_the_past_and_skipped_ticks_are_noops() {
-        // A FIGCache controller with refresh enabled exercises every event
-        // source: demand queues, relocation jobs, and refresh transitions.
+    fn fcfs_serves_strictly_in_order() {
+        // One bank, row 0 open, then: a conflicting request to row 1
+        // followed by a fresh hit to row 0. FR-FCFS serves the younger
+        // hit first; strict FCFS must serve the conflict first.
+        let row_stride = 128 * 64 * 16;
+        let order_for = |sched: SchedPolicyKind| {
+            let cfg = McConfig { enable_refresh: false, sched, ..McConfig::default() };
+            let mut mc = base_mc_with(cfg);
+            mc.enqueue(read(1, 0, 0), 0);
+            let (_, t) = run_until_completions(&mut mc, 0, 1, 1000);
+            // Row 0 is open now. Conflict (row 1) before the hit (row 0).
+            mc.enqueue(read(2, row_stride, t), t);
+            mc.enqueue(read(3, 64, t + 1), t + 1);
+            let (done, _) = run_until_completions(&mut mc, t + 2, 2, 2000);
+            done.iter().map(|c| c.id).collect::<Vec<_>>()
+        };
+        assert_eq!(order_for(SchedPolicyKind::FrFcfs), vec![3, 2], "FR-FCFS reorders for the hit");
+        assert_eq!(order_for(SchedPolicyKind::Fcfs), vec![2, 3], "FCFS must not reorder");
+    }
+
+    #[test]
+    fn row_hit_cap_unblocks_a_starved_conflict() {
+        // Row 0 open, one conflicting request (row 1) queued behind a
+        // steady stream of row-0 hits. Plain FR-FCFS serves every hit
+        // first; FrFcfsCap{2} must close the row after two hits and
+        // serve the conflict before the stream ends.
+        let row_stride = 128 * 64 * 16;
+        let conflict_position = |sched: SchedPolicyKind| {
+            let cfg = McConfig { enable_refresh: false, sched, ..McConfig::default() };
+            let mut mc = base_mc_with(cfg);
+            mc.enqueue(read(1, 0, 0), 0);
+            let (_, t) = run_until_completions(&mut mc, 0, 1, 1000);
+            mc.enqueue(read(100, row_stride, t), t); // the conflict
+            for i in 0..8u64 {
+                mc.enqueue(read(2 + i, 64 * (i + 1), t), t); // hits
+            }
+            let (done, _) = run_until_completions(&mut mc, t, 9, 4000);
+            done.iter().position(|c| c.id == 100).expect("conflict must complete")
+        };
+        let frfcfs = conflict_position(SchedPolicyKind::FrFcfs);
+        let capped = conflict_position(SchedPolicyKind::FrFcfsCap { cap: 2 });
+        assert_eq!(frfcfs, 8, "FR-FCFS serves all 8 hits before the conflict");
+        assert!(capped <= 2, "cap=2 must serve the conflict after at most 2 hits, got {capped}");
+    }
+
+    #[test]
+    fn write_drain_policy_drains_at_its_own_watermark() {
+        // Two writes + one read queued. The default watermarks (40/16)
+        // never trigger a drain, so FR-FCFS serves the read first; a
+        // WriteDrain{2,1} policy must drain the writes first.
+        let first_served = |sched: SchedPolicyKind| {
+            let cfg = McConfig { enable_refresh: false, sched, ..McConfig::default() };
+            let mut mc = base_mc_with(cfg);
+            mc.enqueue(write(1, 4096, 0), 0);
+            mc.enqueue(write(2, 8192, 0), 0);
+            mc.enqueue(read(3, 64 * 512, 0), 0);
+            let mut t = 0;
+            while mc.stats().reads_served == 0 && mc.stats().writes_served == 0 && t < 1000 {
+                mc.tick(t);
+                t += 1;
+            }
+            (mc.stats().reads_served, mc.stats().writes_served)
+        };
+        assert_eq!(first_served(SchedPolicyKind::FrFcfs), (1, 0), "default serves the read");
+        assert_eq!(
+            first_served(SchedPolicyKind::WriteDrain { high: 2, low: 1 }),
+            (0, 1),
+            "tuned watermarks must drain writes first"
+        );
+    }
+
+    #[test]
+    fn flat_scan_baseline_is_bit_identical_to_indexed() {
+        // The flat-scan strategy exists only as a wall-clock baseline:
+        // selection must be identical. Drive both variants through a
+        // bursty FIGCache workload (jobs, conflicts, refresh) and demand
+        // identical completions and statistics every cycle.
         let dram = DramConfig {
             layout: SubarrayLayout::homogeneous(64, 512).with_appended_fast(2, 32),
             ..DramConfig::ddr4_paper_default()
         };
-        let engine = FigCacheEngine::new(&dram, &FigCacheConfig::paper_fast(), 16);
-        let cfg = McConfig::default();
-        let mut mc = MemoryController::new(&dram, cfg, 0, Box::new(engine));
-        let snapshot = |mc: &MemoryController| {
-            (
-                *mc.stats(),
-                *mc.dram_stats(),
-                mc.engine_stats(),
-                mc.read_queue_len(),
-                mc.write_queue_len(),
-            )
+        let mk = |flat_scan: bool| {
+            let engine = FigCacheEngine::new(&dram, &FigCacheConfig::paper_fast(), 16);
+            let cfg = McConfig { flat_scan, ..McConfig::default() };
+            MemoryController::new(&dram, cfg, 0, Box::new(engine))
         };
+        let mut indexed = mk(false);
+        let mut flat = mk(true);
         let mut id = 0u64;
-        for t in 0..30_000u64 {
-            if t.is_multiple_of(37) && mc.can_accept(false) {
-                mc.enqueue(read(id, (id * 7919) % 4096 * 64, t), t);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for t in 0..40_000u64 {
+            if t.is_multiple_of(23) && indexed.can_accept(false) && flat.can_accept(false) {
+                let addr = (id * 7919) % 8192 * 64 + (id % 3) * 8;
+                indexed.enqueue(read(id, addr, t), t);
+                flat.enqueue(read(id, addr, t), t);
                 id += 1;
             }
-            if t.is_multiple_of(151) && mc.can_accept(true) {
-                mc.enqueue(write(id, (id * 104_729) % 4096 * 64, t), t);
+            if t.is_multiple_of(97) && indexed.can_accept(true) && flat.can_accept(true) {
+                let addr = (id * 104_729) % 8192 * 64;
+                indexed.enqueue(write(id, addr, t), t);
+                flat.enqueue(write(id, addr, t), t);
                 id += 1;
             }
-            let horizon = mc.next_event_at(t);
-            if let Some(h) = horizon {
-                assert!(h >= t, "horizon {h} at bus cycle {t} lies in the past");
-            }
-            let before = snapshot(&mc);
-            mc.tick(t);
-            let drained = mc.drain_completions().len();
-            if horizon.is_none_or(|h| h > t) {
-                assert_eq!(snapshot(&mc), before, "tick before the horizon acted at {t}");
-                assert_eq!(drained, 0, "tick before the horizon completed a request at {t}");
-            }
+            indexed.tick(t);
+            flat.tick(t);
+            a.clear();
+            b.clear();
+            indexed.drain_completions_into(&mut a);
+            flat.drain_completions_into(&mut b);
+            assert_eq!(a, b, "completions diverged at bus cycle {t}");
         }
-        assert!(mc.stats().reads_served > 100, "the workload must exercise the controller");
-        assert!(mc.dram_stats().refreshes > 0, "refresh must fire during the run");
-        assert!(mc.dram_stats().relocs > 0, "relocation jobs must run");
+        assert_eq!(indexed.stats(), flat.stats());
+        assert_eq!(indexed.dram_stats(), flat.dram_stats());
+        assert_eq!(indexed.engine_stats(), flat.engine_stats());
+        assert!(indexed.stats().reads_served > 500, "workload must exercise the controller");
+        assert!(indexed.dram_stats().relocs > 0, "relocation jobs must run");
+    }
+
+    #[test]
+    fn next_event_at_is_never_in_the_past_and_skipped_ticks_are_noops() {
+        // A FIGCache controller with refresh enabled exercises every event
+        // source: demand queues, relocation jobs, and refresh transitions.
+        // Every policy must uphold the horizon contract.
+        let policies = [
+            SchedPolicyKind::FrFcfs,
+            SchedPolicyKind::Fcfs,
+            SchedPolicyKind::FrFcfsCap { cap: 4 },
+            SchedPolicyKind::WriteDrain { high: 48, low: 8 },
+        ];
+        for sched in policies {
+            let dram = DramConfig {
+                layout: SubarrayLayout::homogeneous(64, 512).with_appended_fast(2, 32),
+                ..DramConfig::ddr4_paper_default()
+            };
+            let engine = FigCacheEngine::new(&dram, &FigCacheConfig::paper_fast(), 16);
+            let cfg = McConfig { sched, ..McConfig::default() };
+            let mut mc = MemoryController::new(&dram, cfg, 0, Box::new(engine));
+            let snapshot = |mc: &MemoryController| {
+                (
+                    *mc.stats(),
+                    *mc.dram_stats(),
+                    mc.engine_stats(),
+                    mc.read_queue_len(),
+                    mc.write_queue_len(),
+                )
+            };
+            let mut id = 0u64;
+            for t in 0..30_000u64 {
+                if t.is_multiple_of(37) && mc.can_accept(false) {
+                    mc.enqueue(read(id, (id * 7919) % 4096 * 64, t), t);
+                    id += 1;
+                }
+                if t.is_multiple_of(151) && mc.can_accept(true) {
+                    mc.enqueue(write(id, (id * 104_729) % 4096 * 64, t), t);
+                    id += 1;
+                }
+                let horizon = mc.next_event_at(t);
+                if let Some(h) = horizon {
+                    assert!(
+                        h >= t,
+                        "[{}] horizon {h} at bus cycle {t} lies in the past",
+                        sched.label()
+                    );
+                }
+                let before = snapshot(&mc);
+                mc.tick(t);
+                let drained = take_completions(&mut mc).len();
+                if horizon.is_none_or(|h| h > t) {
+                    assert_eq!(
+                        snapshot(&mc),
+                        before,
+                        "[{}] tick before the horizon acted at {t}",
+                        sched.label()
+                    );
+                    assert_eq!(
+                        drained,
+                        0,
+                        "[{}] tick before the horizon completed a request at {t}",
+                        sched.label()
+                    );
+                }
+            }
+            assert!(
+                mc.stats().reads_served > 100,
+                "[{}] the workload must exercise the controller",
+                sched.label()
+            );
+            assert!(mc.dram_stats().refreshes > 0, "refresh must fire during the run");
+            assert!(mc.dram_stats().relocs > 0, "relocation jobs must run");
+        }
     }
 
     #[test]
@@ -1271,6 +1325,7 @@ mod tests {
         let refi = u64::from(dram.timing.refi);
         let mut id = 0u64;
         let horizon_end = 3 * refi + 2000;
+        let (mut a, mut b) = (Vec::new(), Vec::new());
         for t in 0..horizon_end {
             // Bursts of same-bank conflicts shortly before each refresh
             // deadline, so jobs and open banks straddle the transition.
@@ -1286,8 +1341,10 @@ mod tests {
             if event_paced.next_event_at(t).is_some_and(|h| h <= t) {
                 event_paced.tick(t);
             }
-            let a = per_cycle.drain_completions();
-            let b = event_paced.drain_completions();
+            a.clear();
+            b.clear();
+            per_cycle.drain_completions_into(&mut a);
+            event_paced.drain_completions_into(&mut b);
             assert_eq!(a, b, "completions diverged at bus cycle {t}");
         }
         assert_eq!(per_cycle.stats(), event_paced.stats());
@@ -1312,7 +1369,7 @@ mod tests {
             assert!(h.is_some(), "horizon vanished at {t} with refresh due");
             assert!(h.unwrap() >= t, "horizon in the past at {t}");
             mc.tick(t);
-            let _ = mc.drain_completions();
+            let _ = take_completions(&mut mc);
         }
         assert_eq!(mc.dram_stats().refreshes, 1);
     }

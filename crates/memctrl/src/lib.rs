@@ -1,12 +1,25 @@
-//! # figaro-memctrl — FR-FCFS memory controller with in-DRAM cache hooks
+//! # figaro-memctrl — modular memory controller with in-DRAM cache hooks
 //!
-//! One [`MemoryController`] drives one DRAM channel:
+//! One [`MemoryController`] drives one DRAM channel. The crate is split
+//! into four modules, one per concern:
+//!
+//! | Module | Owns |
+//! |---|---|
+//! | [`queues`] | per-bank **indexed** transaction queues (intrusive FIFO + per-bank lists, O(1) bank occupancy) |
+//! | [`bank`] | per-bank state: the relocation-job slot and horizon scratch |
+//! | [`scheduler`] | the pluggable [`SchedPolicy`](scheduler::SchedPolicy) demand policies and the selection/horizon algorithms |
+//! | [`controller`] | queue admission, write drain, refresh, job execution, the event-horizon contract |
+//!
+//! Behavior:
 //!
 //! * 64-entry read and write queues with write-drain watermarks
-//!   (writes are buffered and drained in bursts, with read-around-write
-//!   forwarding from the write queue);
-//! * **FR-FCFS** scheduling: ready row-hit column commands first, then
-//!   oldest-first activation/precharge for waiting requests;
+//!   (writes are buffered and drained in bursts, with block-aligned
+//!   read-around-write forwarding from the write queue);
+//! * pluggable demand scheduling ([`McConfig::sched`], overridable per
+//!   process via `FIGARO_SCHED`): **FR-FCFS** (default — ready row-hit
+//!   column commands first, then oldest-first activation/precharge),
+//!   strict **FCFS**, **FR-FCFS with a row-hit cap** (starvation
+//!   freedom), and FR-FCFS with **tunable write-drain watermarks**;
 //! * periodic all-bank **refresh** (tREFI/tRFC) with bank draining;
 //! * a pluggable [`figaro_core::CacheEngine`]: every demand request is
 //!   looked up (and possibly redirected into the in-DRAM cache region),
@@ -19,13 +32,18 @@
 //!
 //! The controller is clocked in DRAM bus cycles via
 //! [`MemoryController::tick`]; at most one command issues per cycle
-//! (single command bus).
+//! (single command bus). Event-driven callers use
+//! [`MemoryController::next_event_at`], whose horizon is policy-aware.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod bank;
 pub mod controller;
+pub mod queues;
 pub mod request;
+pub mod scheduler;
 
 pub use controller::{McConfig, McStats, MemoryController};
-pub use request::{Completion, Request};
+pub use request::{Completion, Request, BLOCK_BYTES};
+pub use scheduler::{SchedPolicy, SchedPolicyKind};

@@ -3,6 +3,11 @@
 
 use figaro_dram::{Cycle, PhysAddr};
 
+/// Cache-block size of demand requests in bytes (the paper's 64 B
+/// blocks). Addresses are compared at this granularity wherever two
+/// requests are matched against each other (write forwarding).
+pub const BLOCK_BYTES: u64 = 64;
+
 /// A demand memory request at cache-block granularity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Request {
@@ -16,6 +21,14 @@ pub struct Request {
     pub core: u8,
     /// Bus cycle the request entered the controller.
     pub arrival: Cycle,
+}
+
+impl Request {
+    /// `addr` truncated to its cache block ([`BLOCK_BYTES`] alignment).
+    #[must_use]
+    pub fn block_of(addr: PhysAddr) -> PhysAddr {
+        PhysAddr(addr.0 & !(BLOCK_BYTES - 1))
+    }
 }
 
 /// Completion notice for a read request (writes are posted).

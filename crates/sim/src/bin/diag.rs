@@ -1,42 +1,63 @@
 //! Diagnostic runner: `diag <app> <config> [scale]` prints the full
 //! statistics of one single-core run — the tool for understanding *why*
 //! a configuration behaves the way it does.
+//!
+//! Bad arguments print usage and exit nonzero (no panics): the binary is
+//! meant to sit in shell loops. The memory-controller scheduling policy
+//! follows `FIGARO_SCHED` like every other run.
 
 use figaro_sim::runner::Scale;
 use figaro_sim::{ConfigKind, System, SystemConfig};
 use figaro_workloads::profile_by_name;
 
-fn parse_kind(name: &str) -> ConfigKind {
-    match name {
-        "base" => ConfigKind::Base,
-        "lisa" => ConfigKind::LisaVilla,
-        "slow" => ConfigKind::FigCacheSlow,
-        "fast" => ConfigKind::FigCacheFast,
-        "ideal" => ConfigKind::FigCacheIdeal,
-        "ll" => ConfigKind::LlDram,
-        other => panic!("unknown config `{other}` (base|lisa|slow|fast|ideal|ll)"),
-    }
+fn usage() -> ! {
+    eprintln!(
+        "usage: diag [<app> [<config> [<scale>]]]\n\
+         \n\
+         app     a workload profile name (default: mcf)\n\
+         config  base | lisa | slow | fast | ideal | ll (default: fast)\n\
+         scale   tiny | small | full (default: small)\n\
+         \n\
+         env: FIGARO_SCHED=frfcfs|fcfs|frfcfs-cap<N>|wdrain<H>-<L> picks the\n\
+         memory-controller scheduling policy, FIGARO_KERNEL=event|reference\n\
+         the simulation kernel."
+    );
+    std::process::exit(2)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.len() > 4 || args.iter().skip(1).any(|a| a == "-h" || a == "--help") {
+        usage();
+    }
     let app = args.get(1).map_or("mcf", String::as_str);
-    let kind = parse_kind(args.get(2).map_or("fast", String::as_str));
+    let Some(kind) = ConfigKind::from_name(args.get(2).map_or("fast", String::as_str)) else {
+        eprintln!("unknown config `{}`", args[2]);
+        usage();
+    };
     let scale = match args.get(3).map(String::as_str) {
+        None | Some("small") => Scale::Small,
         Some("tiny") => Scale::Tiny,
         Some("full") => Scale::Full,
-        _ => Scale::Small,
+        Some(other) => {
+            eprintln!("unknown scale `{other}`");
+            usage();
+        }
     };
-    let profile = profile_by_name(app).unwrap_or_else(|| panic!("unknown app {app}"));
+    let Some(profile) = profile_by_name(app) else {
+        eprintln!("unknown app `{app}`");
+        usage();
+    };
     let runner = figaro_sim::Runner::uncached(scale);
     let trace = runner.trace_for(&profile, 0);
     let insts = (scale.target_insts() as f64 * (profile.nonmem_per_mem + 1.0) / 3.0) as u64;
     let insts = insts.clamp(scale.target_insts(), scale.target_insts() * 12);
     let cfg = SystemConfig::paper(1, kind.clone());
+    let sched = cfg.mc.sched;
     let mut sys = System::new(cfg, vec![trace], &[insts]);
     let s = sys.run(insts * 400);
 
-    println!("app={app} config={} insts={insts}", kind.label());
+    println!("app={app} config={} insts={insts} sched={}", kind.label(), sched.label());
     println!("cycles            : {}", s.cpu_cycles);
     println!("IPC               : {:.4}", s.ipc(0));
     println!("MPKI              : {:.2}", s.mpki(0));

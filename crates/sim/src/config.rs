@@ -6,7 +6,7 @@ use figaro_core::{
 };
 use figaro_cpu::{CoreParams, HierarchyConfig};
 use figaro_dram::{DramConfig, SubarrayLayout};
-use figaro_memctrl::McConfig;
+use figaro_memctrl::{McConfig, SchedPolicyKind};
 
 /// Which simulation kernel drives [`crate::System::run`].
 ///
@@ -94,6 +94,23 @@ impl ConfigKind {
         }
     }
 
+    /// Parses a short mechanism name (the `diag` CLI's vocabulary):
+    /// `base` | `lisa` | `slow` | `fast` | `ideal` | `ll`, with the full
+    /// figure labels accepted as aliases. Case-insensitive; `None` for
+    /// anything else (custom sweep configs have no stable name).
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<ConfigKind> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "base" => Some(ConfigKind::Base),
+            "lisa" | "lisa-villa" | "lisavilla" => Some(ConfigKind::LisaVilla),
+            "slow" | "figcache-slow" => Some(ConfigKind::FigCacheSlow),
+            "fast" | "figcache-fast" => Some(ConfigKind::FigCacheFast),
+            "ideal" | "figcache-ideal" => Some(ConfigKind::FigCacheIdeal),
+            "ll" | "ll-dram" | "lldram" => Some(ConfigKind::LlDram),
+            _ => None,
+        }
+    }
+
     /// The five mechanisms plotted against `Base` in Figures 7 and 8.
     #[must_use]
     pub fn figure78_set() -> Vec<ConfigKind> {
@@ -139,10 +156,18 @@ impl SystemConfig {
             kind,
             core: CoreParams::paper_default(),
             hierarchy: HierarchyConfig::paper_default(cores),
-            mc: McConfig::default(),
+            mc: McConfig { sched: SchedPolicyKind::from_env(), ..McConfig::default() },
             cpu_cycles_per_bus: 4,
             kernel: Kernel::from_env(),
         }
+    }
+
+    /// Overrides the memory-controller scheduling policy (scheduler
+    /// sweeps; the default is FR-FCFS or the `FIGARO_SCHED` override).
+    #[must_use]
+    pub fn with_sched(mut self, sched: SchedPolicyKind) -> Self {
+        self.mc.sched = sched;
+        self
     }
 
     /// Overrides the channel count (sensitivity sweeps). Channel counts

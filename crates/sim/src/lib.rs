@@ -47,6 +47,7 @@ pub mod runner;
 pub mod system;
 
 pub use config::{ConfigKind, Kernel, SystemConfig};
+pub use figaro_memctrl::SchedPolicyKind;
 pub use metrics::RunStats;
 pub use runner::{Runner, Scale, Scenario, ScenarioWorkload};
 pub use system::System;

@@ -28,6 +28,8 @@ use figaro_workloads::{
     TraceOp, TraceSource,
 };
 
+use figaro_memctrl::SchedPolicyKind;
+
 use crate::config::{ConfigKind, Kernel, SystemConfig};
 use crate::metrics::RunStats;
 use crate::system::System;
@@ -353,6 +355,10 @@ pub struct Scenario {
     /// Per-core instruction-target override (default: the runner scale's
     /// per-profile target). This is what long-run scenarios set.
     pub target_insts: Option<u64>,
+    /// Memory-controller scheduling-policy override (default: the
+    /// runner's policy, itself FR-FCFS unless `FIGARO_SCHED` says
+    /// otherwise).
+    pub sched: Option<SchedPolicyKind>,
 }
 
 impl Scenario {
@@ -366,6 +372,7 @@ impl Scenario {
             channels: None,
             mshrs_per_core: None,
             target_insts: None,
+            sched: None,
         }
     }
 
@@ -387,6 +394,13 @@ impl Scenario {
     #[must_use]
     pub fn with_target_insts(mut self, insts: u64) -> Self {
         self.target_insts = Some(insts);
+        self
+    }
+
+    /// Overrides the memory-controller scheduling policy.
+    #[must_use]
+    pub fn with_sched(mut self, sched: SchedPolicyKind) -> Self {
+        self.sched = Some(sched);
         self
     }
 
@@ -416,32 +430,50 @@ impl Scenario {
 pub struct Runner {
     scale: Scale,
     kernel: Kernel,
+    sched: SchedPolicyKind,
     cache_dir: Option<PathBuf>,
 }
 
 impl Runner {
-    /// A runner at `scale` with the on-disk result cache enabled and the
-    /// kernel selected by `FIGARO_KERNEL` (default: event-driven).
+    /// A runner at `scale` with the on-disk result cache enabled, the
+    /// kernel selected by `FIGARO_KERNEL` (default: event-driven) and
+    /// the scheduling policy selected by `FIGARO_SCHED` (default:
+    /// FR-FCFS).
     #[must_use]
     pub fn new(scale: Scale) -> Self {
         let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
             .ancestors()
             .nth(2)
             .map(|ws| ws.join("target").join("figaro-cache"));
-        Self { scale, kernel: Kernel::from_env(), cache_dir: dir }
+        Self {
+            scale,
+            kernel: Kernel::from_env(),
+            sched: SchedPolicyKind::from_env(),
+            cache_dir: dir,
+        }
     }
 
     /// A runner without the on-disk cache (tests).
     #[must_use]
     pub fn uncached(scale: Scale) -> Self {
-        Self { scale, kernel: Kernel::from_env(), cache_dir: None }
+        Self {
+            scale,
+            kernel: Kernel::from_env(),
+            sched: SchedPolicyKind::from_env(),
+            cache_dir: None,
+        }
     }
 
     /// A runner with the result cache at an explicit directory (tests,
     /// tooling that wants an isolated cache).
     #[must_use]
     pub fn with_cache_dir(scale: Scale, dir: PathBuf) -> Self {
-        Self { scale, kernel: Kernel::from_env(), cache_dir: Some(dir) }
+        Self {
+            scale,
+            kernel: Kernel::from_env(),
+            sched: SchedPolicyKind::from_env(),
+            cache_dir: Some(dir),
+        }
     }
 
     /// Pins the simulation kernel for every run this runner launches
@@ -455,6 +487,16 @@ impl Runner {
         self
     }
 
+    /// Pins the memory-controller scheduling policy for every run this
+    /// runner launches. Non-default policies change results, so they get
+    /// their own cache keys (see [`Runner::sched_suffix`]); the FR-FCFS
+    /// default keeps the canonical keys.
+    #[must_use]
+    pub fn with_sched(mut self, sched: SchedPolicyKind) -> Self {
+        self.sched = sched;
+        self
+    }
+
     /// Cache-key suffix for the non-default kernel. Without it, a
     /// cross-check run under `FIGARO_KERNEL=reference` could silently
     /// return a cached event-kernel result instead of exercising the
@@ -463,6 +505,17 @@ impl Runner {
         match self.kernel {
             Kernel::Event => "",
             Kernel::Reference => "-refkernel",
+        }
+    }
+
+    /// Cache-key fragment for a scheduling policy: empty for the
+    /// FR-FCFS default (canonical keys stay stable), a labeled suffix
+    /// otherwise — a policy change alters results, so it must never
+    /// share a cached summary with the default ladder.
+    fn sched_suffix(sched: SchedPolicyKind) -> String {
+        match sched {
+            SchedPolicyKind::FrFcfs => String::new(),
+            other => format!("-sched-{}", other.label()),
         }
     }
 
@@ -478,9 +531,17 @@ impl Runner {
         self.kernel
     }
 
-    /// A [`SystemConfig::paper`] system with this runner's kernel.
+    /// The memory-controller scheduling policy this runner uses.
+    #[must_use]
+    pub fn sched(&self) -> SchedPolicyKind {
+        self.sched
+    }
+
+    /// A [`SystemConfig::paper`] system with this runner's kernel and
+    /// scheduling policy.
     fn system_config(&self, cores: usize, kind: ConfigKind) -> SystemConfig {
         SystemConfig { kernel: self.kernel, ..SystemConfig::paper(cores, kind) }
+            .with_sched(self.sched)
     }
 
     /// The process-wide per-cache-file lock: concurrent batch workers
@@ -538,11 +599,12 @@ impl Runner {
     /// Runs one application on the single-core system under `kind`.
     pub fn run_single(&self, profile: &AppProfile, kind: ConfigKind) -> RunSummary {
         let key = format!(
-            "{}-1core-{}-{}{}",
+            "{}-1core-{}-{}{}{}",
             self.scale.label(),
             profile.name,
             config_key(&kind),
-            self.kernel_suffix()
+            self.kernel_suffix(),
+            Self::sched_suffix(self.sched)
         );
         let insts = insts_for(profile, self.scale);
         let trace = self.trace_for(profile, 0);
@@ -556,11 +618,12 @@ impl Runner {
     /// Runs an eight-application mix under `kind`.
     pub fn run_mix(&self, mix: &Mix, kind: ConfigKind) -> RunSummary {
         let key = format!(
-            "{}-8core-{}-{}{}",
+            "{}-8core-{}-{}{}{}",
             self.scale.label(),
             mix.name,
             config_key(&kind),
-            self.kernel_suffix()
+            self.kernel_suffix(),
+            Self::sched_suffix(self.sched)
         );
         let targets: Vec<u64> = mix.apps.iter().map(|p| insts_for(p, self.scale)).collect();
         let max_cycles = targets.iter().max().copied().unwrap_or(1) * 400;
@@ -578,11 +641,12 @@ impl Runner {
     /// address space).
     pub fn run_multithreaded(&self, profile: &AppProfile, kind: ConfigKind) -> RunSummary {
         let key = format!(
-            "{}-8mt-{}-{}{}",
+            "{}-8mt-{}-{}{}{}",
             self.scale.label(),
             profile.name,
             config_key(&kind),
-            self.kernel_suffix()
+            self.kernel_suffix(),
+            Self::sched_suffix(self.sched)
         );
         let insts = insts_for(profile, self.scale);
         let traces: Vec<Trace> = (0..8).map(|i| self.trace_for(profile, i)).collect();
@@ -596,7 +660,13 @@ impl Runner {
     /// IPC of `profile` running **alone** on the eight-core Base system
     /// (the denominator of weighted speedup).
     pub fn alone_ipc(&self, profile: &AppProfile) -> f64 {
-        let key = format!("{}-alone-{}{}", self.scale.label(), profile.name, self.kernel_suffix());
+        let key = format!(
+            "{}-alone-{}{}{}",
+            self.scale.label(),
+            profile.name,
+            self.kernel_suffix(),
+            Self::sched_suffix(self.sched)
+        );
         let insts = insts_for(profile, self.scale);
         let trace = self.trace_for(profile, 0);
         let cfg = self.system_config(8, ConfigKind::Base);
@@ -620,8 +690,9 @@ impl Runner {
     pub fn run_scenario(&self, sc: &Scenario) -> RunSummary {
         let cores = sc.workload.cores();
         assert!(cores > 0, "scenario needs at least one core");
+        let sched = sc.sched.unwrap_or(self.sched);
         let key = format!(
-            "{}-scn-{}-{}-{}-ch{}-m{}-t{}{}",
+            "{}-scn-{}-{}-{}-ch{}-m{}-t{}{}{}",
             self.scale.label(),
             sc.name,
             sc.workload.cache_signature(),
@@ -629,9 +700,10 @@ impl Runner {
             sc.channels.map_or_else(|| "def".into(), |c| c.to_string()),
             sc.mshrs_per_core.map_or_else(|| "def".into(), |m| m.to_string()),
             sc.target_insts.map_or_else(|| "def".into(), |t| t.to_string()),
-            self.kernel_suffix()
+            self.kernel_suffix(),
+            Self::sched_suffix(sched)
         );
-        let mut cfg = self.system_config(cores, sc.kind.clone());
+        let mut cfg = self.system_config(cores, sc.kind.clone()).with_sched(sched);
         if let Some(ch) = sc.channels {
             cfg = cfg.with_channels(ch);
         }

@@ -19,6 +19,7 @@ use figaro_memctrl::{McConfig, MemoryController, Request};
 fn hammer(mut mc: MemoryController, rounds: u64) -> (u32, u64) {
     let row_stride = 128 * 64 * 16u64; // next row of the same bank
     let (mut now, mut id, mut issued) = (0u64, 0u64, 0u64);
+    let mut scratch = Vec::new();
     while issued < rounds * 2 {
         if mc.can_accept(false) {
             let aggressor = issued % 2;
@@ -37,12 +38,14 @@ fn hammer(mut mc: MemoryController, rounds: u64) -> (u32, u64) {
             issued += 1;
         }
         mc.tick(now);
-        let _ = mc.drain_completions();
+        scratch.clear();
+        mc.drain_completions_into(&mut scratch);
         now += 1;
     }
     while !mc.is_idle() && now < 10_000_000 {
         mc.tick(now);
-        let _ = mc.drain_completions();
+        scratch.clear();
+        mc.drain_completions_into(&mut scratch);
         now += 1;
     }
     let monitor = mc.activation_monitor().expect("monitor enabled");

@@ -15,6 +15,14 @@ fn fig_dram() -> DramConfig {
     }
 }
 
+/// Number of completions drained this cycle (via the allocation-free
+/// `drain_completions_into`; the allocating variant is deprecated).
+fn drained_count(mc: &mut MemoryController) -> u64 {
+    let mut buf = Vec::new();
+    mc.drain_completions_into(&mut buf);
+    buf.len() as u64
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
@@ -102,20 +110,20 @@ proptest! {
         for (i, (block, is_write)) in blocks.iter().enumerate() {
             while !mc.can_accept(*is_write) {
                 mc.tick(now);
-                completions += mc.drain_completions().len() as u64;
+                completions += drained_count(&mut mc);
                 now += 1;
             }
             let addr = PhysAddr((block % (1 << 25)) * 64);
             mc.enqueue(Request { id: i as u64, addr, is_write: *is_write, core: 0, arrival: now }, now);
             if *is_write { sent_writes += 1 } else { sent_reads += 1 }
             mc.tick(now);
-            completions += mc.drain_completions().len() as u64;
+            completions += drained_count(&mut mc);
             now += 1;
         }
         let deadline = now + 200_000;
         while !mc.is_idle() && now < deadline {
             mc.tick(now);
-            completions += mc.drain_completions().len() as u64;
+            completions += drained_count(&mut mc);
             now += 1;
         }
         prop_assert!(mc.is_idle(), "controller must drain");
@@ -182,13 +190,13 @@ fn refresh_storm_does_not_deadlock() {
             sent += 1;
         }
         mc.tick(now);
-        completions += mc.drain_completions().len() as u64;
+        completions += drained_count(&mut mc);
         now += 1;
     }
     let deadline = now + 100_000;
     while !mc.is_idle() && now < deadline {
         mc.tick(now);
-        completions += mc.drain_completions().len() as u64;
+        completions += drained_count(&mut mc);
         now += 1;
     }
     assert!(mc.is_idle(), "refresh storm deadlocked the controller");

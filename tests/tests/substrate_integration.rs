@@ -18,12 +18,20 @@ fn fig_dram() -> DramConfig {
     }
 }
 
+/// Number of completions drained this cycle (via the allocation-free
+/// `drain_completions_into`; the allocating variant is deprecated).
+fn drained_count(mc: &mut MemoryController) -> u64 {
+    let mut buf = Vec::new();
+    mc.drain_completions_into(&mut buf);
+    buf.len() as u64
+}
+
 /// Drives a controller until idle, bounded.
 fn drain(mc: &mut MemoryController, start: u64, bound: u64) -> u64 {
     let mut now = start;
     while !mc.is_idle() && now < start + bound {
         mc.tick(now);
-        let _ = mc.drain_completions();
+        let _ = drained_count(mc);
         now += 1;
     }
     assert!(mc.is_idle(), "controller must drain");
@@ -82,7 +90,7 @@ fn relocation_concurrent_with_demand_to_other_subarrays() {
     let mut done = Vec::new();
     while done.len() < 2 && now < 4000 {
         mc.tick(now);
-        done.extend(mc.drain_completions());
+        mc.drain_completions_into(&mut done);
         now += 1;
     }
     assert_eq!(done.len(), 2);
@@ -194,7 +202,7 @@ fn refresh_interacts_safely_with_relocation_traffic() {
             id += 1;
         }
         mc.tick(now);
-        completed += mc.drain_completions().len() as u64;
+        completed += drained_count(&mut mc);
     }
     assert!(mc.dram_stats().refreshes >= 5, "refreshes: {}", mc.dram_stats().refreshes);
     assert!(completed > 500, "reads completed: {completed}");
