@@ -38,6 +38,33 @@ pub struct BankAddr {
     pub bank: u32,
 }
 
+impl BankAddr {
+    /// Flat bank index within the channel — **the** shared flat-index
+    /// formula of the workspace; every per-bank table (controller queue
+    /// buckets, channel bank state, cache engines) indexes through it
+    /// rather than re-deriving the arithmetic.
+    #[must_use]
+    pub fn flat_bank(&self, g: &crate::geometry::DramGeometry) -> u32 {
+        debug_assert!(
+            self.rank < g.ranks && self.bankgroup < g.bankgroups && self.bank < g.banks_per_group
+        );
+        (self.rank * g.bankgroups + self.bankgroup) * g.banks_per_group + self.bank
+    }
+
+    /// Inverse of [`BankAddr::flat_bank`]: the bank coordinates of flat
+    /// index `flat`.
+    #[must_use]
+    pub fn from_flat(flat: u32, g: &crate::geometry::DramGeometry) -> Self {
+        debug_assert!(flat < g.banks_per_channel(), "flat bank {flat} out of range");
+        let rem = flat % g.banks_per_rank();
+        Self {
+            rank: flat / g.banks_per_rank(),
+            bankgroup: rem / g.banks_per_group,
+            bank: rem % g.banks_per_group,
+        }
+    }
+}
+
 /// What the caller learns from a successful [`DramChannel::issue`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IssueOutcome {
@@ -198,9 +225,7 @@ impl DramChannel {
     }
 
     fn bank_index(&self, b: BankAddr) -> usize {
-        let g = &self.config.geometry;
-        debug_assert!(b.rank < g.ranks && b.bankgroup < g.bankgroups && b.bank < g.banks_per_group);
-        ((b.rank * g.bankgroups + b.bankgroup) * g.banks_per_group + b.bank) as usize
+        b.flat_bank(&self.config.geometry) as usize
     }
 
     /// The currently open row of a bank, if any.

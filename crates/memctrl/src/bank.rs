@@ -26,14 +26,7 @@ impl BankState {
     /// State for flat bank index `flat` of `geometry`.
     #[must_use]
     pub fn new(flat: u32, geometry: &DramGeometry) -> Self {
-        let rank = flat / geometry.banks_per_rank();
-        let rem = flat % geometry.banks_per_rank();
-        let addr = BankAddr {
-            rank,
-            bankgroup: rem / geometry.banks_per_group,
-            bank: rem % geometry.banks_per_group,
-        };
-        Self { addr, job: None, agg: BankAgg::default() }
+        Self { addr: BankAddr::from_flat(flat, geometry), job: None, agg: BankAgg::default() }
     }
 }
 
@@ -68,9 +61,7 @@ mod tests {
         let g = DramConfig::ddr4_paper_default().geometry;
         for flat in 0..g.banks_per_channel() {
             let st = BankState::new(flat, &g);
-            let back = (st.addr.rank * g.bankgroups + st.addr.bankgroup) * g.banks_per_group
-                + st.addr.bank;
-            assert_eq!(back, flat);
+            assert_eq!(st.addr.flat_bank(&g), flat);
             assert!(st.job.is_none());
         }
     }

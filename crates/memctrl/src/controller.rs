@@ -9,7 +9,7 @@
 
 use figaro_core::{CacheEngine, CacheStats, RowHammerMonitor};
 use figaro_dram::{
-    AddressMapping, BankAddr, Cycle, DramChannel, DramCommand, DramConfig, DramStats,
+    AddressMapping, BankAddr, Cycle, DramChannel, DramCommand, DramConfig, DramStats, MapKind,
 };
 
 use crate::bank::BankState;
@@ -43,6 +43,12 @@ pub struct McConfig {
     pub activation_window: Option<Cycle>,
     /// Demand-scheduling policy (default: FR-FCFS, the paper's ladder).
     pub sched: SchedPolicyKind,
+    /// Physical→DRAM address interleaving (default: the paper's
+    /// `{row, rank, bankgroup, bank, channel, column}` bit slice). The
+    /// system router must be built with the **same** kind — requests
+    /// routed under one mapping and decoded under another would land on
+    /// the wrong channel (asserted in [`MemoryController::enqueue`]).
+    pub map: MapKind,
     /// Use the pre-refactor flat queue scans instead of the per-bank
     /// indexes. Selection is identical either way; this exists as the
     /// wall-clock baseline for the `sched_sweep` bench.
@@ -59,6 +65,7 @@ impl Default for McConfig {
             enable_refresh: true,
             activation_window: None,
             sched: SchedPolicyKind::FrFcfs,
+            map: MapKind::default(),
             flat_scan: false,
         }
     }
@@ -171,7 +178,7 @@ impl MemoryController {
         let (wq_high, wq_low) = policy.watermarks(cfg.wq_high, cfg.wq_low);
         Self {
             cfg,
-            mapping: AddressMapping::new(dram.geometry),
+            mapping: dram.address_mapping(cfg.map),
             channel: DramChannel::new(dram),
             channel_id,
             engine,
@@ -222,8 +229,8 @@ impl MemoryController {
         assert!(self.can_accept(req.is_write), "queue full");
         let loc = self.mapping.decode(req.addr);
         assert_eq!(loc.channel, self.channel_id, "request routed to the wrong channel");
-        let bank = BankAddr { rank: loc.rank, bankgroup: loc.bankgroup, bank: loc.bank };
-        let flat = loc.flat_bank(self.mapping.geometry());
+        let bank = loc.bank_addr();
+        let flat = bank.flat_bank(self.mapping.geometry());
         let open = self.channel.open_row(bank);
         let target = self.engine.on_request(flat, loc.row, loc.col, req.is_write, open, now);
         let entry = Entry {
@@ -407,8 +414,7 @@ impl MemoryController {
     }
 
     fn issue(&mut self, bank: BankAddr, cmd: &DramCommand, now: Cycle) -> Cycle {
-        let g = self.mapping.geometry();
-        let flat = (bank.rank * g.bankgroups + bank.bankgroup) * g.banks_per_group + bank.bank;
+        let flat = bank.flat_bank(self.mapping.geometry());
         if let Some(m) = &mut self.monitor {
             match *cmd {
                 DramCommand::Activate { row } | DramCommand::ActivateMerge { row } => {

@@ -20,7 +20,9 @@ fn usage() -> ! {
          \n\
          env: FIGARO_SCHED=frfcfs|fcfs|frfcfs-cap<N>|wdrain<H>-<L> picks the\n\
          memory-controller scheduling policy, FIGARO_KERNEL=event|reference\n\
-         the simulation kernel."
+         the simulation kernel, FIGARO_MAP=paper|chfirst|rowint[-xor] the\n\
+         DRAM address mapping, and FIGARO_PAGEMAP=ident|rand<seed>|color<N>\n\
+         the OS page-frame placement."
     );
     std::process::exit(2)
 }
@@ -54,10 +56,18 @@ fn main() {
     let insts = insts.clamp(scale.target_insts(), scale.target_insts() * 12);
     let cfg = SystemConfig::paper(1, kind.clone());
     let sched = cfg.mc.sched;
+    let map = cfg.mc.map;
+    let page_map = cfg.page_map;
     let mut sys = System::new(cfg, vec![trace], &[insts]);
     let s = sys.run(insts * 400);
 
-    println!("app={app} config={} insts={insts} sched={}", kind.label(), sched.label());
+    println!(
+        "app={app} config={} insts={insts} sched={} map={} pagemap={}",
+        kind.label(),
+        sched.label(),
+        map.label(),
+        page_map.label()
+    );
     println!("cycles            : {}", s.cpu_cycles);
     println!("IPC               : {:.4}", s.ipc(0));
     println!("MPKI              : {:.2}", s.mpki(0));

@@ -5,8 +5,9 @@ use figaro_core::{
     CacheEngine, FigCacheConfig, FigCacheEngine, LisaVillaConfig, LisaVillaEngine, NullEngine,
 };
 use figaro_cpu::{CoreParams, HierarchyConfig};
-use figaro_dram::{DramConfig, SubarrayLayout};
+use figaro_dram::{DramConfig, MapKind, SubarrayLayout};
 use figaro_memctrl::{McConfig, SchedPolicyKind};
+use figaro_workloads::PageMapKind;
 
 /// Which simulation kernel drives [`crate::System::run`].
 ///
@@ -143,6 +144,9 @@ pub struct SystemConfig {
     pub cpu_cycles_per_bus: u64,
     /// Simulation kernel driving the clock (see [`Kernel`]).
     pub kernel: Kernel,
+    /// OS page-frame placement applied to every trace source (the DRAM
+    /// address interleaving itself lives in `mc.map`).
+    pub page_map: PageMapKind,
 }
 
 impl SystemConfig {
@@ -156,10 +160,32 @@ impl SystemConfig {
             kind,
             core: CoreParams::paper_default(),
             hierarchy: HierarchyConfig::paper_default(cores),
-            mc: McConfig { sched: SchedPolicyKind::from_env(), ..McConfig::default() },
+            mc: McConfig {
+                sched: SchedPolicyKind::from_env(),
+                map: MapKind::from_env(),
+                ..McConfig::default()
+            },
             cpu_cycles_per_bus: 4,
             kernel: Kernel::from_env(),
+            page_map: PageMapKind::from_env(),
         }
+    }
+
+    /// Overrides the physical→DRAM address interleaving (mapping
+    /// sweeps; the default is the paper's bit slice or the `FIGARO_MAP`
+    /// override).
+    #[must_use]
+    pub fn with_mapping(mut self, map: MapKind) -> Self {
+        self.mc.map = map;
+        self
+    }
+
+    /// Overrides the OS page-frame placement policy (the default is
+    /// identity or the `FIGARO_PAGEMAP` override).
+    #[must_use]
+    pub fn with_page_map(mut self, page_map: PageMapKind) -> Self {
+        self.page_map = page_map;
+        self
     }
 
     /// Overrides the memory-controller scheduling policy (scheduler

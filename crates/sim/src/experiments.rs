@@ -10,10 +10,11 @@
 //! category); set `FIGARO_FULL_SWEEPS=1` for the paper's full set.
 
 use figaro_core::{FigCacheConfig, ReplacementPolicy};
+use figaro_dram::{MapKind, MapScheme};
 use figaro_memctrl::SchedPolicyKind;
 use figaro_workloads::{
     app_profiles, eight_core_mixes, multithreaded_profiles, phased_profiles, AppProfile, Mix,
-    MixCategory,
+    MixCategory, PageMapKind,
 };
 
 use crate::config::{ConfigKind, SystemConfig};
@@ -620,6 +621,116 @@ pub fn scheduler_sweep_with(runner: &Runner, target_insts: Option<u64>) -> Figur
     }
     note_truncations(&mut fig, &results);
     fig.push_note("frfcfs is the paper's controller; every policy runs the identical workload");
+    if !full_sweeps() {
+        fig.push_note("mix subset in effect (set FIGARO_FULL_SWEEPS=1 for all four categories)");
+    }
+    fig
+}
+
+/// The address mappings compared by [`mapping_sweep`]: the paper's
+/// default slice, channel/bank-first block interleaving, the
+/// bank-sequential row-interleaved scheme, and the XOR bank hash over
+/// the paper slice.
+#[must_use]
+pub fn mapping_kinds() -> Vec<MapKind> {
+    vec![
+        MapKind::paper(),
+        MapKind { scheme: MapScheme::ChFirst, xor_bank: false },
+        MapKind { scheme: MapScheme::RowInt, xor_bank: false },
+        MapKind { scheme: MapScheme::Paper, xor_bank: true },
+    ]
+}
+
+/// The OS page-placement policies compared by [`mapping_sweep`]:
+/// identity, seeded-random frame allocation, and 16-color bank
+/// coloring.
+#[must_use]
+pub fn page_policies() -> Vec<PageMapKind> {
+    vec![PageMapKind::Identity, PageMapKind::Random { seed: 1 }, PageMapKind::Color { colors: 16 }]
+}
+
+/// **Mapping sweep**: address-mapping × page-placement × mechanism grid
+/// over streamed eight-core mixes. Rows are `mapping / page / mechanism`
+/// triples; columns report throughput (Σ IPC), DRAM row-hit rate and
+/// in-DRAM cache hit rate per mix — the axes data placement moves.
+/// Export with [`FigureData::to_csv`]. Mix subset unless
+/// `FIGARO_FULL_SWEEPS=1`.
+pub fn mapping_sweep(runner: &Runner) -> FigureData {
+    mapping_sweep_with(runner, None)
+}
+
+/// [`mapping_sweep`] with an explicit per-core instruction target (the
+/// CI fast tier runs a tiny grid this way; `None` uses the runner
+/// scale's per-profile targets).
+pub fn mapping_sweep_with(runner: &Runner, target_insts: Option<u64>) -> FigureData {
+    let mappings = mapping_kinds();
+    let pages = page_policies();
+    let kinds = [ConfigKind::Base, ConfigKind::FigCacheFast];
+    let all = eight_core_mixes();
+    let cats: Vec<MixCategory> = if full_sweeps() {
+        MixCategory::all().to_vec()
+    } else {
+        vec![MixCategory::Intensive100, MixCategory::Intensive25]
+    };
+    let mixes: Vec<Mix> = cats
+        .iter()
+        .map(|c| all.iter().find(|m| m.category == *c).expect("every category has mixes").clone())
+        .collect();
+    let mut jobs: Vec<Scenario> = Vec::new();
+    for map in &mappings {
+        for page in &pages {
+            for kind in &kinds {
+                for mix in &mixes {
+                    let mut sc = Scenario::new(
+                        format!("mapsw-{}-{}-{}", map.label(), page.label(), mix.name),
+                        kind.clone(),
+                        ScenarioWorkload::Mix(mix.clone()),
+                    )
+                    .with_mapping(*map)
+                    .with_page_map(*page);
+                    if let Some(t) = target_insts {
+                        sc = sc.with_target_insts(t);
+                    }
+                    jobs.push(sc);
+                }
+            }
+        }
+    }
+    let results = runner.run_scenario_batch(&jobs);
+    let mut columns = Vec::new();
+    for mix in &mixes {
+        columns.push(format!("{} ipc", mix.name));
+        columns.push(format!("{} row-hit", mix.name));
+        columns.push(format!("{} cache-hit", mix.name));
+    }
+    let mut fig = FigureData::new(
+        "Mapping sweep: address mapping x page placement x mechanism \
+         (throughput, row-hit, cache-hit)",
+        columns,
+    );
+    let mut idx = 0;
+    for map in &mappings {
+        for page in &pages {
+            for kind in &kinds {
+                let mut vals = Vec::new();
+                for _ in &mixes {
+                    let s = &results[idx];
+                    idx += 1;
+                    vals.push(s.ipc.iter().sum::<f64>());
+                    vals.push(s.row_hit_rate);
+                    vals.push(s.cache_hit_rate);
+                }
+                fig.push_row(
+                    format!("{} / {} / {}", map.label(), page.label(), kind.label()),
+                    vals,
+                );
+            }
+        }
+    }
+    note_truncations(&mut fig, &results);
+    fig.push_note(
+        "paper/ident is the paper's placement; every cell runs the identical streamed workload",
+    );
     if !full_sweeps() {
         fig.push_note("mix subset in effect (set FIGARO_FULL_SWEEPS=1 for all four categories)");
     }

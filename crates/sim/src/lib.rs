@@ -47,7 +47,9 @@ pub mod runner;
 pub mod system;
 
 pub use config::{ConfigKind, Kernel, SystemConfig};
+pub use figaro_dram::{MapKind, MapScheme};
 pub use figaro_memctrl::SchedPolicyKind;
+pub use figaro_workloads::PageMapKind;
 pub use metrics::RunStats;
 pub use runner::{Runner, Scale, Scenario, ScenarioWorkload};
 pub use system::System;

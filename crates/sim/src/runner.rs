@@ -24,10 +24,11 @@ use std::sync::{Arc, Mutex, OnceLock};
 use rayon::prelude::*;
 
 use figaro_workloads::{
-    generate_trace, AppProfile, Mix, PhasedGenerator, PhasedProfile, Trace, TraceGenerator,
-    TraceOp, TraceSource,
+    generate_trace, AppProfile, Mix, PageMapKind, PhasedGenerator, PhasedProfile, Trace,
+    TraceGenerator, TraceOp, TraceSource,
 };
 
+use figaro_dram::MapKind;
 use figaro_memctrl::SchedPolicyKind;
 
 use crate::config::{ConfigKind, Kernel, SystemConfig};
@@ -359,6 +360,12 @@ pub struct Scenario {
     /// runner's policy, itself FR-FCFS unless `FIGARO_SCHED` says
     /// otherwise).
     pub sched: Option<SchedPolicyKind>,
+    /// Address-mapping override (default: the runner's mapping, itself
+    /// the paper slice unless `FIGARO_MAP` says otherwise).
+    pub map: Option<MapKind>,
+    /// Page-placement override (default: the runner's policy, itself
+    /// identity unless `FIGARO_PAGEMAP` says otherwise).
+    pub page_map: Option<PageMapKind>,
 }
 
 impl Scenario {
@@ -373,6 +380,8 @@ impl Scenario {
             mshrs_per_core: None,
             target_insts: None,
             sched: None,
+            map: None,
+            page_map: None,
         }
     }
 
@@ -404,6 +413,20 @@ impl Scenario {
         self
     }
 
+    /// Overrides the physical→DRAM address mapping.
+    #[must_use]
+    pub fn with_mapping(mut self, map: MapKind) -> Self {
+        self.map = Some(map);
+        self
+    }
+
+    /// Overrides the OS page-frame placement policy.
+    #[must_use]
+    pub fn with_page_map(mut self, page_map: PageMapKind) -> Self {
+        self.page_map = Some(page_map);
+        self
+    }
+
     /// A long-run streaming scenario: `ops_per_core` memory operations
     /// per core, converted to an instruction target via each core's mean
     /// non-memory-per-memory ratio. The **maximum** across cores is used
@@ -431,48 +454,48 @@ pub struct Runner {
     scale: Scale,
     kernel: Kernel,
     sched: SchedPolicyKind,
+    map: MapKind,
+    page_map: PageMapKind,
     cache_dir: Option<PathBuf>,
 }
 
 impl Runner {
     /// A runner at `scale` with the on-disk result cache enabled, the
-    /// kernel selected by `FIGARO_KERNEL` (default: event-driven) and
-    /// the scheduling policy selected by `FIGARO_SCHED` (default:
-    /// FR-FCFS).
+    /// kernel selected by `FIGARO_KERNEL` (default: event-driven), the
+    /// scheduling policy selected by `FIGARO_SCHED` (default: FR-FCFS),
+    /// the address mapping selected by `FIGARO_MAP` (default: the
+    /// paper's slice) and the page placement selected by
+    /// `FIGARO_PAGEMAP` (default: identity).
     #[must_use]
     pub fn new(scale: Scale) -> Self {
         let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
             .ancestors()
             .nth(2)
             .map(|ws| ws.join("target").join("figaro-cache"));
-        Self {
-            scale,
-            kernel: Kernel::from_env(),
-            sched: SchedPolicyKind::from_env(),
-            cache_dir: dir,
-        }
+        Self::build(scale, dir)
     }
 
     /// A runner without the on-disk cache (tests).
     #[must_use]
     pub fn uncached(scale: Scale) -> Self {
-        Self {
-            scale,
-            kernel: Kernel::from_env(),
-            sched: SchedPolicyKind::from_env(),
-            cache_dir: None,
-        }
+        Self::build(scale, None)
     }
 
     /// A runner with the result cache at an explicit directory (tests,
     /// tooling that wants an isolated cache).
     #[must_use]
     pub fn with_cache_dir(scale: Scale, dir: PathBuf) -> Self {
+        Self::build(scale, Some(dir))
+    }
+
+    fn build(scale: Scale, cache_dir: Option<PathBuf>) -> Self {
         Self {
             scale,
             kernel: Kernel::from_env(),
             sched: SchedPolicyKind::from_env(),
-            cache_dir: Some(dir),
+            map: MapKind::from_env(),
+            page_map: PageMapKind::from_env(),
+            cache_dir,
         }
     }
 
@@ -494,6 +517,24 @@ impl Runner {
     #[must_use]
     pub fn with_sched(mut self, sched: SchedPolicyKind) -> Self {
         self.sched = sched;
+        self
+    }
+
+    /// Pins the physical→DRAM address mapping for every run this runner
+    /// launches. Non-default mappings change results, so they get their
+    /// own cache keys (see [`Runner::map_suffix`]).
+    #[must_use]
+    pub fn with_mapping(mut self, map: MapKind) -> Self {
+        self.map = map;
+        self
+    }
+
+    /// Pins the OS page-frame placement policy for every run this
+    /// runner launches. Non-identity placements change results, so they
+    /// get their own cache keys (see [`Runner::pagemap_suffix`]).
+    #[must_use]
+    pub fn with_page_map(mut self, page_map: PageMapKind) -> Self {
+        self.page_map = page_map;
         self
     }
 
@@ -519,6 +560,38 @@ impl Runner {
         }
     }
 
+    /// Cache-key fragment for an address mapping: empty for the paper
+    /// default (canonical keys stay stable), a labeled suffix otherwise.
+    fn map_suffix(map: MapKind) -> String {
+        if map == MapKind::default() {
+            String::new()
+        } else {
+            format!("-map-{}", map.label())
+        }
+    }
+
+    /// Cache-key fragment for a page-placement policy: empty for the
+    /// identity default, a labeled suffix otherwise.
+    fn pagemap_suffix(page_map: PageMapKind) -> String {
+        if page_map == PageMapKind::Identity {
+            String::new()
+        } else {
+            format!("-pg-{}", page_map.label())
+        }
+    }
+
+    /// All non-canonical cache-key suffixes of this runner's fixed
+    /// configuration (kernel, scheduler, mapping, page placement).
+    fn config_suffixes(&self) -> String {
+        format!(
+            "{}{}{}{}",
+            self.kernel_suffix(),
+            Self::sched_suffix(self.sched),
+            Self::map_suffix(self.map),
+            Self::pagemap_suffix(self.page_map)
+        )
+    }
+
     /// The runner's scale.
     #[must_use]
     pub fn scale(&self) -> Scale {
@@ -537,11 +610,25 @@ impl Runner {
         self.sched
     }
 
-    /// A [`SystemConfig::paper`] system with this runner's kernel and
-    /// scheduling policy.
+    /// The physical→DRAM address mapping this runner uses.
+    #[must_use]
+    pub fn mapping(&self) -> MapKind {
+        self.map
+    }
+
+    /// The OS page-frame placement policy this runner uses.
+    #[must_use]
+    pub fn page_map(&self) -> PageMapKind {
+        self.page_map
+    }
+
+    /// A [`SystemConfig::paper`] system with this runner's kernel,
+    /// scheduling policy, address mapping and page placement.
     fn system_config(&self, cores: usize, kind: ConfigKind) -> SystemConfig {
         SystemConfig { kernel: self.kernel, ..SystemConfig::paper(cores, kind) }
             .with_sched(self.sched)
+            .with_mapping(self.map)
+            .with_page_map(self.page_map)
     }
 
     /// The process-wide per-cache-file lock: concurrent batch workers
@@ -599,12 +686,11 @@ impl Runner {
     /// Runs one application on the single-core system under `kind`.
     pub fn run_single(&self, profile: &AppProfile, kind: ConfigKind) -> RunSummary {
         let key = format!(
-            "{}-1core-{}-{}{}{}",
+            "{}-1core-{}-{}{}",
             self.scale.label(),
             profile.name,
             config_key(&kind),
-            self.kernel_suffix(),
-            Self::sched_suffix(self.sched)
+            self.config_suffixes()
         );
         let insts = insts_for(profile, self.scale);
         let trace = self.trace_for(profile, 0);
@@ -618,12 +704,11 @@ impl Runner {
     /// Runs an eight-application mix under `kind`.
     pub fn run_mix(&self, mix: &Mix, kind: ConfigKind) -> RunSummary {
         let key = format!(
-            "{}-8core-{}-{}{}{}",
+            "{}-8core-{}-{}{}",
             self.scale.label(),
             mix.name,
             config_key(&kind),
-            self.kernel_suffix(),
-            Self::sched_suffix(self.sched)
+            self.config_suffixes()
         );
         let targets: Vec<u64> = mix.apps.iter().map(|p| insts_for(p, self.scale)).collect();
         let max_cycles = targets.iter().max().copied().unwrap_or(1) * 400;
@@ -641,12 +726,11 @@ impl Runner {
     /// address space).
     pub fn run_multithreaded(&self, profile: &AppProfile, kind: ConfigKind) -> RunSummary {
         let key = format!(
-            "{}-8mt-{}-{}{}{}",
+            "{}-8mt-{}-{}{}",
             self.scale.label(),
             profile.name,
             config_key(&kind),
-            self.kernel_suffix(),
-            Self::sched_suffix(self.sched)
+            self.config_suffixes()
         );
         let insts = insts_for(profile, self.scale);
         let traces: Vec<Trace> = (0..8).map(|i| self.trace_for(profile, i)).collect();
@@ -660,13 +744,8 @@ impl Runner {
     /// IPC of `profile` running **alone** on the eight-core Base system
     /// (the denominator of weighted speedup).
     pub fn alone_ipc(&self, profile: &AppProfile) -> f64 {
-        let key = format!(
-            "{}-alone-{}{}{}",
-            self.scale.label(),
-            profile.name,
-            self.kernel_suffix(),
-            Self::sched_suffix(self.sched)
-        );
+        let key =
+            format!("{}-alone-{}{}", self.scale.label(), profile.name, self.config_suffixes());
         let insts = insts_for(profile, self.scale);
         let trace = self.trace_for(profile, 0);
         let cfg = self.system_config(8, ConfigKind::Base);
@@ -691,8 +770,10 @@ impl Runner {
         let cores = sc.workload.cores();
         assert!(cores > 0, "scenario needs at least one core");
         let sched = sc.sched.unwrap_or(self.sched);
+        let map = sc.map.unwrap_or(self.map);
+        let page_map = sc.page_map.unwrap_or(self.page_map);
         let key = format!(
-            "{}-scn-{}-{}-{}-ch{}-m{}-t{}{}{}",
+            "{}-scn-{}-{}-{}-ch{}-m{}-t{}{}{}{}{}",
             self.scale.label(),
             sc.name,
             sc.workload.cache_signature(),
@@ -701,9 +782,15 @@ impl Runner {
             sc.mshrs_per_core.map_or_else(|| "def".into(), |m| m.to_string()),
             sc.target_insts.map_or_else(|| "def".into(), |t| t.to_string()),
             self.kernel_suffix(),
-            Self::sched_suffix(sched)
+            Self::sched_suffix(sched),
+            Self::map_suffix(map),
+            Self::pagemap_suffix(page_map)
         );
-        let mut cfg = self.system_config(cores, sc.kind.clone()).with_sched(sched);
+        let mut cfg = self
+            .system_config(cores, sc.kind.clone())
+            .with_sched(sched)
+            .with_mapping(map)
+            .with_page_map(page_map);
         if let Some(ch) = sc.channels {
             cfg = cfg.with_channels(ch);
         }

@@ -23,7 +23,7 @@ use figaro_cpu::{CacheHierarchy, TraceCore};
 use figaro_dram::AddressMapping;
 use figaro_energy::{DramEnergyModel, SystemActivity, SystemEnergyModel};
 use figaro_memctrl::{Completion, MemoryController, Request};
-use figaro_workloads::{Trace, TraceSource};
+use figaro_workloads::{PageMapKind, PageMappedSource, PageMapper, Trace, TraceSource};
 
 use crate::config::{Kernel, SystemConfig};
 use crate::metrics::RunStats;
@@ -82,11 +82,33 @@ impl System {
         assert_eq!(targets.len(), cfg.cores, "one instruction target per core");
         let dram = cfg.dram_config();
         dram.validate().expect("dram config must validate");
-        let mapping = AddressMapping::new(dram.geometry);
+        // The router decodes with the same mapping kind the controllers
+        // use — mismatched mappings would send requests to the wrong
+        // channel (the controller asserts this on enqueue).
+        let mapping = dram.address_mapping(cfg.mc.map);
         let mcs: Vec<MemoryController> = (0..cfg.channels)
             .map(|ch| MemoryController::new(&dram, cfg.mc, ch, cfg.build_engine(&dram)))
             .collect();
         let hierarchy = CacheHierarchy::new(cfg.hierarchy, cfg.cores);
+        // OS page-frame placement wraps every source; identity skips the
+        // wrapper entirely so the default path stays byte-for-byte the
+        // pre-subsystem one.
+        let sources: Vec<Box<dyn TraceSource>> = if cfg.page_map == PageMapKind::Identity {
+            sources
+        } else {
+            // The mapping's own address space (it was built over the
+            // layout's regular rows), so the frame space can never
+            // diverge from the row slice.
+            let mapper = PageMapper::new(
+                cfg.page_map,
+                u64::from(dram.geometry.row_bytes),
+                mapping.addr_space(),
+            );
+            sources
+                .into_iter()
+                .map(|s| Box::new(PageMappedSource::new(s, mapper)) as Box<dyn TraceSource>)
+                .collect()
+        };
         let cores: Vec<TraceCore> = sources
             .into_iter()
             .zip(targets)

@@ -25,6 +25,11 @@
 //! `{row, rank, bankgroup, bank, channel, column}` interleaving, letting
 //! profiles place "hot segments" in distinct rows spread across banks and
 //! channels.
+//!
+//! The OS side of data placement lives in [`pagemap`]: deterministic,
+//! bijective page-frame allocation policies (identity, seeded-random,
+//! bank/channel coloring) applied to any [`TraceSource`] via
+//! [`PageMappedSource`].
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -32,12 +37,14 @@
 pub mod apps;
 pub mod generator;
 pub mod mixes;
+pub mod pagemap;
 pub mod phased;
 pub mod trace_io;
 
 pub use apps::{app_profiles, multithreaded_profiles, profile_by_name, AppProfile};
 pub use generator::{generate_trace, TraceGenerator};
 pub use mixes::{eight_core_mixes, Mix, MixCategory};
+pub use pagemap::{PageMapKind, PageMappedSource, PageMapper};
 pub use phased::{phased_profiles, Phase, PhaseKind, PhasedGenerator, PhasedProfile};
 pub use trace_io::{read_trace_file, write_trace_file, FileReplay, RecordingSource, TraceWriter};
 
