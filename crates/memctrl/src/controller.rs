@@ -13,6 +13,7 @@ use figaro_dram::{
 };
 
 use crate::bank::BankState;
+use crate::histogram::LatencyHistogram;
 use crate::queues::{Entry, IndexedQueue};
 use crate::request::{Completion, Request};
 use crate::scheduler::{self, PrepAction, SchedPolicy, SchedPolicyKind};
@@ -92,6 +93,10 @@ pub struct McStats {
     pub enq_reads: u64,
     /// Writes enqueued.
     pub enq_writes: u64,
+    /// Per-read latency distribution (arrival → data, bus cycles) —
+    /// same samples the sum above accumulates, bucketed for tail
+    /// percentiles.
+    pub read_latency_hist: LatencyHistogram,
 }
 
 impl McStats {
@@ -116,6 +121,14 @@ impl McStats {
         }
     }
 
+    /// Books one served read's arrival→data latency into both the sum
+    /// (the mean) and the distribution (the tail). Every read-serving
+    /// path must go through here so the two stay consistent.
+    pub fn note_read_latency(&mut self, lat: u64) {
+        self.read_latency_sum += lat;
+        self.read_latency_hist.record(lat);
+    }
+
     /// Element-wise accumulation across channels.
     pub fn merge_from(&mut self, o: &McStats) {
         self.row_hits += o.row_hits;
@@ -127,6 +140,7 @@ impl McStats {
         self.read_latency_sum += o.read_latency_sum;
         self.enq_reads += o.enq_reads;
         self.enq_writes += o.enq_writes;
+        self.read_latency_hist.merge_from(&o.read_latency_hist);
     }
 }
 
@@ -262,7 +276,12 @@ impl MemoryController {
             if forwarded {
                 self.stats.reads_served += 1;
                 self.stats.forwarded += 1;
-                self.stats.read_latency_sum += 1;
+                // Same arrival→data convention as the scheduled path:
+                // data comes back one cycle after the probe, so a read
+                // that waited in a front-end queue since `arrival` books
+                // that wait too (this used to be a constant 1 regardless
+                // of queueing delay).
+                self.stats.note_read_latency(now + 1 - req.arrival);
                 self.completions.push(Completion {
                     id: req.id,
                     done_at: now + 1,
@@ -740,7 +759,7 @@ impl MemoryController {
             self.stats.writes_served += 1;
         } else {
             self.stats.reads_served += 1;
-            self.stats.read_latency_sum += done - entry.req.arrival;
+            self.stats.note_read_latency(done - entry.req.arrival);
             self.completions.push(Completion {
                 id: entry.req.id,
                 done_at: done,
@@ -973,6 +992,26 @@ mod tests {
         let done = take_completions(&mut mc);
         assert_eq!(done.len(), 1);
         assert_eq!(done[0].done_at, 2);
+    }
+
+    #[test]
+    fn forwarded_read_books_queueing_delay_not_a_constant() {
+        // Regression: a write-forwarded read that spent N cycles queued
+        // upstream (arrival stamp N cycles before the enqueue) must book
+        // ~N latency under the same arrival→data convention as the
+        // scheduled path — it used to book a constant 1.
+        let n = 37u64;
+        let mut mc = base_mc(false);
+        mc.enqueue(write(1, 4096, 0), 0);
+        // Read arrived at cycle 1 but only reaches the controller at 1+n.
+        mc.enqueue(
+            Request { id: 2, addr: PhysAddr(4096), is_write: false, core: 0, arrival: 1 },
+            1 + n,
+        );
+        assert_eq!(mc.stats().forwarded, 1);
+        assert_eq!(mc.stats().read_latency_sum, n + 1, "arrival→data, not constant 1");
+        assert_eq!(mc.stats().read_latency_hist.count(), 1);
+        assert_eq!(mc.stats().read_latency_hist.max(), n + 1);
     }
 
     #[test]

@@ -40,10 +40,12 @@
 
 pub mod bank;
 pub mod controller;
+pub mod histogram;
 pub mod queues;
 pub mod request;
 pub mod scheduler;
 
 pub use controller::{McConfig, McStats, MemoryController};
+pub use histogram::LatencyHistogram;
 pub use request::{Completion, Request, BLOCK_BYTES};
 pub use scheduler::{SchedPolicy, SchedPolicyKind};

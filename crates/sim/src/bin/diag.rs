@@ -8,7 +8,7 @@
 
 use figaro_sim::runner::Scale;
 use figaro_sim::{ConfigKind, System, SystemConfig};
-use figaro_workloads::profile_by_name;
+use figaro_workloads::{profile_by_name, ArrivalKind, ArrivalSchedule, TraceSource};
 
 fn usage() -> ! {
     eprintln!(
@@ -21,8 +21,10 @@ fn usage() -> ! {
          env: FIGARO_SCHED=frfcfs|fcfs|frfcfs-cap<N>|wdrain<H>-<L> picks the\n\
          memory-controller scheduling policy, FIGARO_KERNEL=event|reference\n\
          the simulation kernel, FIGARO_MAP=paper|chfirst|rowint[-xor] the\n\
-         DRAM address mapping, and FIGARO_PAGEMAP=ident|rand<seed>|color<N>\n\
-         the OS page-frame placement."
+         DRAM address mapping, FIGARO_PAGEMAP=ident|rand<seed>|color<N>\n\
+         the OS page-frame placement, and\n\
+         FIGARO_LOAD=fixed:G|poisson:G|bursty:ON,OPS,IDLE replaces the\n\
+         app's own issue gaps with an open-loop arrival process."
     );
     std::process::exit(2)
 }
@@ -58,7 +60,15 @@ fn main() {
     let sched = cfg.mc.sched;
     let map = cfg.mc.map;
     let page_map = cfg.page_map;
-    let mut sys = System::new(cfg, vec![trace], &[insts]);
+    let mut sys = match ArrivalKind::from_env() {
+        // Open-loop pacing: wrap the trace source like scenario runs do.
+        Some(load) => {
+            let src: Box<dyn TraceSource> =
+                Box::new(ArrivalSchedule::new(Box::new(trace.into_source()), load, 0));
+            System::from_sources(cfg, vec![src], &[insts])
+        }
+        None => System::new(cfg, vec![trace], &[insts]),
+    };
     let s = sys.run(insts * 400);
 
     println!(
@@ -74,6 +84,15 @@ fn main() {
     println!("LLC hit rate      : {:.3}", s.hierarchy.llc.hit_rate());
     println!("DRAM reads/writes : {} / {}", s.mc.reads_served, s.mc.writes_served);
     println!("avg read latency  : {:.1} bus cycles", s.mc.avg_read_latency());
+    let h = &s.mc.read_latency_hist;
+    println!(
+        "read latency tail : p50 {} p95 {} p99 {} p999 {} max {} bus cycles",
+        h.percentile(0.50),
+        h.percentile(0.95),
+        h.percentile(0.99),
+        h.percentile(0.999),
+        h.max()
+    );
     println!(
         "row hit/miss/conf : {} / {} / {}  (hit rate {:.3})",
         s.mc.row_hits,

@@ -24,8 +24,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 use rayon::prelude::*;
 
 use figaro_workloads::{
-    generate_trace, AppProfile, Mix, PageMapKind, PhasedGenerator, PhasedProfile, Trace,
-    TraceGenerator, TraceOp, TraceSource,
+    generate_trace, AppProfile, ArrivalKind, ArrivalSchedule, Mix, PageMapKind, PhasedGenerator,
+    PhasedProfile, Trace, TraceGenerator, TraceOp, TraceSource,
 };
 
 use figaro_dram::MapKind;
@@ -120,6 +120,20 @@ pub struct RunSummary {
     pub lisa_clones: u64,
     /// Average read latency (bus cycles).
     pub avg_read_latency: f64,
+    /// Reads the memory controllers served (the numerator of achieved
+    /// throughput in serving sweeps).
+    pub reads_served: u64,
+    /// Median read latency (bus cycles; histogram bucket floor, ≤ 12.5%
+    /// quantization error — see `figaro_memctrl::LatencyHistogram`).
+    pub read_lat_p50: u64,
+    /// 95th-percentile read latency (bus cycles, bucket floor).
+    pub read_lat_p95: u64,
+    /// 99th-percentile read latency (bus cycles, bucket floor).
+    pub read_lat_p99: u64,
+    /// 99.9th-percentile read latency (bus cycles, bucket floor).
+    pub read_lat_p999: u64,
+    /// Exact maximum read latency (bus cycles).
+    pub read_lat_max: u64,
     /// Segment/row insertions completed.
     pub insertions: u64,
     /// Cores that hit the cycle cap before their instruction target
@@ -143,6 +157,12 @@ impl RunSummary {
             relocs: s.dram.relocs,
             lisa_clones: s.dram.lisa_clones,
             avg_read_latency: s.mc.avg_read_latency(),
+            reads_served: s.mc.reads_served,
+            read_lat_p50: s.mc.read_latency_hist.percentile(0.50),
+            read_lat_p95: s.mc.read_latency_hist.percentile(0.95),
+            read_lat_p99: s.mc.read_latency_hist.percentile(0.99),
+            read_lat_p999: s.mc.read_latency_hist.percentile(0.999),
+            read_lat_max: s.mc.read_latency_hist.max(),
             insertions: s.cache.insertions,
             truncated_cores: s.unfinished_cores() as u64,
         }
@@ -155,23 +175,47 @@ impl RunSummary {
         a + b + c + d + e
     }
 
+    /// Exact text encoding of an `f64`: the bit pattern in hex. A `{}`
+    /// float round trip can differ in the last ulp, so a cached result
+    /// would not equal a fresh run bit for bit; the bit pattern is
+    /// lossless by construction (and NaN-safe).
+    fn f64_text(x: f64) -> String {
+        format!("b{:016x}", x.to_bits())
+    }
+
+    /// Parses [`RunSummary::f64_text`], plus the decimal form older cache
+    /// files used.
+    fn f64_parse(s: &str) -> Option<f64> {
+        match s.strip_prefix('b') {
+            Some(hex) => u64::from_str_radix(hex, 16).ok().map(f64::from_bits),
+            None => s.parse().ok(),
+        }
+    }
+
     fn to_text(&self) -> String {
-        let vec_join = |v: &[f64]| v.iter().map(|x| x.to_string()).collect::<Vec<_>>().join(",");
+        let vec_join =
+            |v: &[f64]| v.iter().map(|x| Self::f64_text(*x)).collect::<Vec<_>>().join(",");
         format!(
-            "ipc {}\nmpki {}\nrow_hit_rate {}\ncache_hit_rate {}\nenergy {},{},{},{},{}\ncpu_cycles {}\nrelocs {}\nlisa_clones {}\navg_read_latency {}\ninsertions {}\ntruncated_cores {}\n",
+            "ipc {}\nmpki {}\nrow_hit_rate {}\ncache_hit_rate {}\nenergy {},{},{},{},{}\ncpu_cycles {}\nrelocs {}\nlisa_clones {}\navg_read_latency {}\nreads_served {}\nread_lat_p50 {}\nread_lat_p95 {}\nread_lat_p99 {}\nread_lat_p999 {}\nread_lat_max {}\ninsertions {}\ntruncated_cores {}\n",
             vec_join(&self.ipc),
             vec_join(&self.mpki),
-            self.row_hit_rate,
-            self.cache_hit_rate,
-            self.energy.0,
-            self.energy.1,
-            self.energy.2,
-            self.energy.3,
-            self.energy.4,
+            Self::f64_text(self.row_hit_rate),
+            Self::f64_text(self.cache_hit_rate),
+            Self::f64_text(self.energy.0),
+            Self::f64_text(self.energy.1),
+            Self::f64_text(self.energy.2),
+            Self::f64_text(self.energy.3),
+            Self::f64_text(self.energy.4),
             self.cpu_cycles,
             self.relocs,
             self.lisa_clones,
-            self.avg_read_latency,
+            Self::f64_text(self.avg_read_latency),
+            self.reads_served,
+            self.read_lat_p50,
+            self.read_lat_p95,
+            self.read_lat_p99,
+            self.read_lat_p999,
+            self.read_lat_max,
             self.insertions,
             self.truncated_cores,
         )
@@ -184,24 +228,32 @@ impl RunSummary {
             map.insert(k.to_string(), v.to_string());
         }
         let parse_vec =
-            |s: &str| -> Option<Vec<f64>> { s.split(',').map(|x| x.parse::<f64>().ok()).collect() };
+            |s: &str| -> Option<Vec<f64>> { s.split(',').map(Self::f64_parse).collect() };
         let e = parse_vec(map.get("energy")?)?;
         if e.len() != 5 {
             return None;
         }
+        // Fields absent in cache files written before they existed
+        // default to 0 (matching what those runs would have reported).
+        let legacy_u64 = |k: &str| map.get(k).map_or(Some(0), |v| v.parse().ok());
         Some(Self {
             ipc: parse_vec(map.get("ipc")?)?,
             mpki: parse_vec(map.get("mpki")?)?,
-            row_hit_rate: map.get("row_hit_rate")?.parse().ok()?,
-            cache_hit_rate: map.get("cache_hit_rate")?.parse().ok()?,
+            row_hit_rate: Self::f64_parse(map.get("row_hit_rate")?)?,
+            cache_hit_rate: Self::f64_parse(map.get("cache_hit_rate")?)?,
             energy: (e[0], e[1], e[2], e[3], e[4]),
             cpu_cycles: map.get("cpu_cycles")?.parse().ok()?,
             relocs: map.get("relocs")?.parse().ok()?,
             lisa_clones: map.get("lisa_clones")?.parse().ok()?,
-            avg_read_latency: map.get("avg_read_latency")?.parse().ok()?,
+            avg_read_latency: Self::f64_parse(map.get("avg_read_latency")?)?,
+            reads_served: legacy_u64("reads_served")?,
+            read_lat_p50: legacy_u64("read_lat_p50")?,
+            read_lat_p95: legacy_u64("read_lat_p95")?,
+            read_lat_p99: legacy_u64("read_lat_p99")?,
+            read_lat_p999: legacy_u64("read_lat_p999")?,
+            read_lat_max: legacy_u64("read_lat_max")?,
             insertions: map.get("insertions")?.parse().ok()?,
-            // Absent in cache files written before the field existed.
-            truncated_cores: map.get("truncated_cores").map_or(Some(0), |v| v.parse().ok())?,
+            truncated_cores: legacy_u64("truncated_cores")?,
         })
     }
 }
@@ -366,6 +418,12 @@ pub struct Scenario {
     /// Page-placement override (default: the runner's policy, itself
     /// identity unless `FIGARO_PAGEMAP` says otherwise).
     pub page_map: Option<PageMapKind>,
+    /// Open-loop arrival-pacing override (default: the runner's pacing,
+    /// itself closed-loop unless `FIGARO_LOAD` says otherwise). When
+    /// set, every core's source is wrapped in an
+    /// [`figaro_workloads::ArrivalSchedule`], making offered load the
+    /// swept axis instead of the workload's own issue rate.
+    pub arrival: Option<ArrivalKind>,
 }
 
 impl Scenario {
@@ -382,6 +440,7 @@ impl Scenario {
             sched: None,
             map: None,
             page_map: None,
+            arrival: None,
         }
     }
 
@@ -427,6 +486,14 @@ impl Scenario {
         self
     }
 
+    /// Paces every core's source with an open-loop arrival process (the
+    /// serving-sweep axis).
+    #[must_use]
+    pub fn with_arrival(mut self, arrival: ArrivalKind) -> Self {
+        self.arrival = Some(arrival);
+        self
+    }
+
     /// A long-run streaming scenario: `ops_per_core` memory operations
     /// per core, converted to an instruction target via each core's mean
     /// non-memory-per-memory ratio. The **maximum** across cores is used
@@ -456,6 +523,11 @@ pub struct Runner {
     sched: SchedPolicyKind,
     map: MapKind,
     page_map: PageMapKind,
+    /// Open-loop arrival pacing applied to **scenario** runs (the
+    /// serving paths); `None` leaves sources closed-loop. The figure
+    /// paths (`run_single`/`run_mix`/...) never pace — their results
+    /// model the applications' own issue rates.
+    arrival: Option<ArrivalKind>,
     cache_dir: Option<PathBuf>,
 }
 
@@ -464,8 +536,10 @@ impl Runner {
     /// kernel selected by `FIGARO_KERNEL` (default: event-driven), the
     /// scheduling policy selected by `FIGARO_SCHED` (default: FR-FCFS),
     /// the address mapping selected by `FIGARO_MAP` (default: the
-    /// paper's slice) and the page placement selected by
-    /// `FIGARO_PAGEMAP` (default: identity).
+    /// paper's slice), the page placement selected by
+    /// `FIGARO_PAGEMAP` (default: identity) and, for scenario runs, the
+    /// open-loop arrival pacing selected by `FIGARO_LOAD` (default:
+    /// closed-loop).
     #[must_use]
     pub fn new(scale: Scale) -> Self {
         let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -495,6 +569,7 @@ impl Runner {
             sched: SchedPolicyKind::from_env(),
             map: MapKind::from_env(),
             page_map: PageMapKind::from_env(),
+            arrival: ArrivalKind::from_env(),
             cache_dir,
         }
     }
@@ -538,6 +613,16 @@ impl Runner {
         self
     }
 
+    /// Pins open-loop arrival pacing for every **scenario** run this
+    /// runner launches (defaults to the `FIGARO_LOAD` override, or
+    /// closed-loop when unset). Pacing changes results, so it gets its
+    /// own cache keys (see [`Runner::arrival_suffix`]).
+    #[must_use]
+    pub fn with_arrival(mut self, arrival: ArrivalKind) -> Self {
+        self.arrival = Some(arrival);
+        self
+    }
+
     /// Cache-key suffix for the non-default kernel. Without it, a
     /// cross-check run under `FIGARO_KERNEL=reference` could silently
     /// return a cached event-kernel result instead of exercising the
@@ -578,6 +663,14 @@ impl Runner {
         } else {
             format!("-pg-{}", page_map.label())
         }
+    }
+
+    /// Cache-key fragment for arrival pacing: empty for the closed-loop
+    /// default (canonical scenario keys stay stable), a labeled suffix
+    /// otherwise — a paced run must never share a cached summary with
+    /// the closed-loop run of the same scenario.
+    fn arrival_suffix(arrival: Option<ArrivalKind>) -> String {
+        arrival.map_or_else(String::new, |a| format!("-arr-{}", a.label()))
     }
 
     /// All non-canonical cache-key suffixes of this runner's fixed
@@ -772,8 +865,9 @@ impl Runner {
         let sched = sc.sched.unwrap_or(self.sched);
         let map = sc.map.unwrap_or(self.map);
         let page_map = sc.page_map.unwrap_or(self.page_map);
+        let arrival = sc.arrival.or(self.arrival);
         let key = format!(
-            "{}-scn-{}-{}-{}-ch{}-m{}-t{}{}{}{}{}",
+            "{}-scn-{}-{}-{}-ch{}-m{}-t{}{}{}{}{}{}",
             self.scale.label(),
             sc.name,
             sc.workload.cache_signature(),
@@ -784,7 +878,8 @@ impl Runner {
             self.kernel_suffix(),
             Self::sched_suffix(sched),
             Self::map_suffix(map),
-            Self::pagemap_suffix(page_map)
+            Self::pagemap_suffix(page_map),
+            Self::arrival_suffix(arrival)
         );
         let mut cfg = self
             .system_config(cores, sc.kind.clone())
@@ -806,8 +901,21 @@ impl Runner {
         let max_cycles = targets.iter().max().copied().unwrap_or(1).saturating_mul(400);
         let workload = sc.workload.clone();
         self.cached(&key, move || {
-            let sources: Vec<Box<dyn TraceSource>> =
-                (0..cores).map(|c| workload.source_for(c)).collect();
+            let sources: Vec<Box<dyn TraceSource>> = (0..cores)
+                .map(|c| {
+                    let src = workload.source_for(c);
+                    match arrival {
+                        // Per-core seeds tied to the arrival label, so
+                        // cores draw independent gap streams and a kind
+                        // change redraws them.
+                        Some(kind) => {
+                            Box::new(ArrivalSchedule::new(src, kind, seed_for(&kind.label(), c)))
+                                as Box<dyn TraceSource>
+                        }
+                        None => src,
+                    }
+                })
+                .collect();
             let mut sys = System::from_sources(cfg, sources, &targets);
             RunSummary::from_stats(&sys.run(max_cycles))
         })
@@ -911,30 +1019,92 @@ mod tests {
 
     #[test]
     fn summary_round_trips_through_text() {
+        // Deliberately awkward floats: values whose shortest decimal
+        // rendering used to round-trip off by an ulp through `{}`.
         let s = RunSummary {
-            ipc: vec![1.5, 0.25],
-            mpki: vec![12.0, 3.0],
+            ipc: vec![0.1 + 0.2, 1.0 / 3.0],
+            mpki: vec![12.0, 3.0_f64.sqrt()],
             row_hit_rate: 0.42,
-            cache_hit_rate: 0.3,
-            energy: (1.0, 2.0, 3.0, 4.0, 5.0),
+            cache_hit_rate: f64::from_bits(0x3FD5_5555_5555_5556),
+            energy: (1.0, 2.0, 3.0, 4.0, 5.0e-300),
             cpu_cycles: 1000,
             relocs: 77,
             lisa_clones: 0,
             avg_read_latency: 55.5,
+            reads_served: 12_345,
+            read_lat_p50: 28,
+            read_lat_p95: 96,
+            read_lat_p99: 224,
+            read_lat_p999: 1792,
+            read_lat_max: 2011,
             insertions: 9,
             truncated_cores: 1,
         };
         let t = s.to_text();
-        assert_eq!(RunSummary::from_text(&t), Some(s.clone()));
-        // Cache files written before `truncated_cores` existed still load.
+        let loaded = RunSummary::from_text(&t).expect("round trip must parse");
+        assert_eq!(loaded, s.clone());
+        // Bit-exactness, not just PartialEq (the cache-vs-fresh contract).
+        for (a, b) in loaded.ipc.iter().zip(s.ipc.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(loaded.cache_hit_rate.to_bits(), s.cache_hit_rate.to_bits());
+        assert_eq!(loaded.energy.4.to_bits(), s.energy.4.to_bits());
+        // Cache files written before the newer fields existed still load
+        // (decimal floats, no percentile lines).
         let legacy: String = t
             .lines()
-            .filter(|l| !l.starts_with("truncated_cores"))
-            .map(|l| format!("{l}\n"))
+            .filter(|l| {
+                !l.starts_with("truncated_cores")
+                    && !l.starts_with("reads_served")
+                    && !l.starts_with("read_lat_")
+            })
+            .map(|l| {
+                // Rewrite hex-bit floats back to the old decimal form.
+                let (k, v) = l.split_once(' ').unwrap();
+                let dec: Vec<String> = v
+                    .split(',')
+                    .map(|x| match RunSummary::f64_parse(x) {
+                        Some(f) if x.starts_with('b') => f.to_string(),
+                        _ => x.to_string(),
+                    })
+                    .collect();
+                format!("{k} {}\n", dec.join(","))
+            })
             .collect();
         let loaded = RunSummary::from_text(&legacy).expect("legacy cache entry must parse");
         assert_eq!(loaded.truncated_cores, 0);
-        assert_eq!(loaded.ipc, s.ipc);
+        assert_eq!(loaded.reads_served, 0);
+        assert_eq!(loaded.read_lat_p99, 0);
+        assert_eq!(loaded.ipc, s.ipc, "shortest-decimal legacy floats still parse exactly");
+    }
+
+    #[test]
+    fn cached_scenario_result_is_bit_identical_to_fresh() {
+        // The satellite-2 contract end to end: write a summary through
+        // the on-disk cache, read it back, and require full bit equality
+        // with the freshly computed run (floats included).
+        let dir = std::env::temp_dir()
+            .join(format!("figaro-cache-test-{}", std::process::id()))
+            .join("exact");
+        let _ = std::fs::remove_dir_all(&dir);
+        let sc = Scenario::new(
+            "exactness",
+            ConfigKind::FigCacheFast,
+            ScenarioWorkload::Apps(vec![profile_by_name("mcf").unwrap()]),
+        )
+        .with_target_insts(10_000);
+        let fresh = Runner::uncached(Scale::Tiny).run_scenario(&sc);
+        let writer = Runner::with_cache_dir(Scale::Tiny, dir.clone());
+        let first = writer.run_scenario(&sc); // computes and publishes
+        let cached = Runner::with_cache_dir(Scale::Tiny, dir.clone()).run_scenario(&sc);
+        for s in [&first, &cached] {
+            assert_eq!(s, &fresh);
+            for (a, b) in s.ipc.iter().zip(fresh.ipc.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "cached float differs from fresh");
+            }
+            assert_eq!(s.avg_read_latency.to_bits(), fresh.avg_read_latency.to_bits());
+        }
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap());
     }
 
     #[test]

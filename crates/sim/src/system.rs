@@ -256,6 +256,22 @@ impl System {
         // Controller events land on bus boundaries, so they only matter
         // when nothing earlier is already scheduled (and staying lazy here
         // lets several invalidations coalesce into one recomputation).
+        //
+        // `bus * per_bus` deliberately omits the `fill_latency` term that
+        // `step_bus` adds when waking a core (`done_at * per_bus +
+        // fill_latency`), and that cannot under-sleep past a pending wake:
+        // a completion never outlives the `step_bus` call of the bus cycle
+        // that created it — `tick`/`enqueue` produce it and the drain loop
+        // in the same call consumes it, calling `wake` immediately (a
+        // controller with an undrained completion would pin
+        // `next_event_at(from) == Some(from)` anyway, making this horizon
+        // conservative, never late). The wake stamps the *future*
+        // fill-inclusive ready time into the core's load window, and from
+        // then on the core's own `next_event_at` — folded into `next`
+        // before this block — covers that cycle. So every fill-latency
+        // deadline is owned by a core horizon, and the controller horizon
+        // only needs to reach the bus boundary where the completion (and
+        // its wake) happen.
         if next > boundary {
             let from_bus = now / per_bus + 1;
             for mc in &mut self.mcs {
@@ -502,6 +518,45 @@ mod tests {
         // The shape must actually have exercised the backlog: with 64
         // outstanding misses possible and 4 queue slots, far more requests
         // were enqueued than fit at once.
+        assert!(reference.mc.enq_reads > 100, "workload must stress the queue");
+    }
+
+    #[test]
+    fn event_kernel_matches_reference_with_nondefault_fill_and_bus_ratio() {
+        // Regression for the `component_horizon` fill-latency audit: the
+        // controller horizon is `bus * per_bus` with no `fill_latency`
+        // term (see the proof comment there), and the proof leans on the
+        // wake's fill-inclusive ready stamp being covered by a *core*
+        // horizon. Stress it where the two clocks interact most — the
+        // backlog-saturation shape with a non-default fill latency and a
+        // non-power-of-two CPU:bus ratio (exercising the division paths)
+        // — where any under-sleep past a wake diverges from the
+        // reference.
+        let run = |kernel: Kernel| {
+            let apps = ["mcf", "com", "tigr", "mum"];
+            let traces: Vec<Trace> = apps
+                .iter()
+                .enumerate()
+                .map(|(i, n)| generate_trace(&profile_by_name(n).unwrap(), 8_000, 47 + i as u64))
+                .collect();
+            let mut cfg = SystemConfig { kernel, ..SystemConfig::paper(4, ConfigKind::Base) };
+            cfg.channels = 1;
+            cfg.mc.read_queue_cap = 4;
+            cfg.mc.write_queue_cap = 4;
+            cfg.mc.wq_high = 3;
+            cfg.mc.wq_low = 1;
+            cfg.hierarchy.mshrs_per_core = 16;
+            cfg.hierarchy.fill_latency = 23; // default is much smaller
+            cfg.cpu_cycles_per_bus = 5; // non-power-of-two ratio
+            let mut sys = System::new(cfg, traces, &[10_000; 4]);
+            sys.run(40_000_000)
+        };
+        let reference = run(Kernel::Reference);
+        let event = run(Kernel::Event);
+        assert_eq!(reference, event, "kernel divergence with fill_latency=23, per_bus=5");
+        for core in 0..4 {
+            assert_eq!(reference.instructions[core], 10_000, "core {core} starved");
+        }
         assert!(reference.mc.enq_reads > 100, "workload must stress the queue");
     }
 

@@ -35,6 +35,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod apps;
+pub mod arrival;
 pub mod generator;
 pub mod mixes;
 pub mod pagemap;
@@ -42,6 +43,7 @@ pub mod phased;
 pub mod trace_io;
 
 pub use apps::{app_profiles, multithreaded_profiles, profile_by_name, AppProfile};
+pub use arrival::{ArrivalKind, ArrivalSchedule};
 pub use generator::{generate_trace, TraceGenerator};
 pub use mixes::{eight_core_mixes, Mix, MixCategory};
 pub use pagemap::{PageMapKind, PageMappedSource, PageMapper};
