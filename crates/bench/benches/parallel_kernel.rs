@@ -1,0 +1,201 @@
+//! `parallel_kernel` — wall-clock scaling of the sharded parallel kernel.
+//!
+//! Sweeps [`Kernel::Parallel`] worker threads over {1, 2, 4, 8} on four
+//! eight-core run shapes — {4, 8} memory channels × {backlog-saturation,
+//! streamed-mix} — with the serial event kernel as the baseline, asserts
+//! every parallel run's [`RunStats`] are **bit-identical** to the event
+//! kernel's, prints simulated cycles per wall-clock second, and records
+//! everything (including the host's available parallelism — scaling
+//! numbers from a one-core container are honest but flat) in
+//! `BENCH_parallel.json` at the workspace root.
+//!
+//! ```bash
+//! cargo bench --bench parallel_kernel
+//! ```
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use figaro_sim::runner::Scale;
+use figaro_sim::{ConfigKind, Kernel, RunStats, System, SystemConfig};
+use figaro_workloads::{generate_trace, profile_by_name, Trace};
+
+const SAMPLES: usize = 3;
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+/// One measured run shape: always the paper's eight-core system on
+/// FIGCache-Fast (relocation traffic makes the controllers the
+/// bottleneck), with the channel count and queue pressure varied.
+#[derive(Clone, Copy)]
+struct Shape {
+    name: &'static str,
+    channels: u32,
+    /// Shrink the per-channel queues so the backlog stays pinned — the
+    /// heaviest per-shard load and the hardest case for the lookahead.
+    saturate: bool,
+}
+
+const SHAPES: [Shape; 4] = [
+    Shape { name: "mix-4ch", channels: 4, saturate: false },
+    Shape { name: "mix-8ch", channels: 8, saturate: false },
+    Shape { name: "sat-4ch", channels: 4, saturate: true },
+    Shape { name: "sat-8ch", channels: 8, saturate: true },
+];
+
+/// One uncached run of `shape` under `kernel` with `threads` workers.
+fn run_once(shape: &Shape, kernel: Kernel, threads: usize, insts: u64) -> (RunStats, f64) {
+    let apps = ["mcf", "lbm", "zeusmp", "libquantum", "gcc", "sjeng", "grep", "bzip2"];
+    let traces: Vec<Trace> = apps
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let p = profile_by_name(n).expect("bench profile exists");
+            generate_trace(&p, 8_000, 1_000 + i as u64)
+        })
+        .collect();
+    let mut cfg = SystemConfig { kernel, ..SystemConfig::paper(8, ConfigKind::FigCacheFast) }
+        .with_channels(shape.channels)
+        .with_threads(threads);
+    if shape.saturate {
+        cfg.mc.read_queue_cap = 4;
+        cfg.mc.write_queue_cap = 4;
+        cfg.mc.wq_high = 3;
+        cfg.mc.wq_low = 1;
+        cfg.hierarchy.mshrs_per_core = 16;
+    }
+    let mut sys = System::new(cfg, traces, &[insts; 8]);
+    let t = Instant::now();
+    let stats = sys.run(insts * 400);
+    (stats, t.elapsed().as_secs_f64())
+}
+
+struct Measurement {
+    shape: Shape,
+    /// `0` encodes the serial event-kernel baseline.
+    threads: usize,
+    wall_s: f64,
+    sim_cycles: u64,
+}
+
+impl Measurement {
+    fn kernel_label(&self) -> String {
+        if self.threads == 0 {
+            "event".into()
+        } else {
+            format!("parallel-{}t", self.threads)
+        }
+    }
+
+    fn cycles_per_sec(&self) -> f64 {
+        self.sim_cycles as f64 / self.wall_s
+    }
+}
+
+fn json_report(scale: Scale, host_threads: usize, results: &[Measurement]) -> String {
+    let mut entries = String::new();
+    for (i, m) in results.iter().enumerate() {
+        let _ = write!(
+            entries,
+            "{}    {{\"shape\": \"{}\", \"channels\": {}, \"kernel\": \"{}\", \
+             \"wall_s\": {:.6}, \"sim_cycles\": {}, \"cycles_per_sec\": {:.1}}}",
+            if i == 0 { "" } else { ",\n" },
+            m.shape.name,
+            m.shape.channels,
+            m.kernel_label(),
+            m.wall_s,
+            m.sim_cycles,
+            m.cycles_per_sec(),
+        );
+    }
+    // Speedup of each parallel thread count over the same shape's
+    // 1-thread parallel run (isolates scaling from epoch overhead).
+    let mut speedups = String::new();
+    let mut first = true;
+    for shape in SHAPES {
+        let base = results
+            .iter()
+            .find(|m| m.shape.name == shape.name && m.threads == 1)
+            .expect("1-thread row exists");
+        for m in results.iter().filter(|m| m.shape.name == shape.name && m.threads > 1) {
+            let _ = write!(
+                speedups,
+                "{}\"{}@{}t\": {:.2}",
+                if first { "" } else { ", " },
+                shape.name,
+                m.threads,
+                base.wall_s / m.wall_s,
+            );
+            first = false;
+        }
+    }
+    format!(
+        "{{\n  \"bench\": \"parallel_kernel\",\n  \"scale\": \"{}\",\n  \
+         \"host_threads\": {host_threads},\n  \"results\": [\n{entries}\n  ],\n  \
+         \"parallel_speedup\": {{{speedups}}}\n}}\n",
+        scale.label(),
+    )
+}
+
+fn main() {
+    if criterion::launched_as_test() {
+        return;
+    }
+    let scale = Scale::from_env_or(Scale::Tiny);
+    // Eight active cores: size the per-core target down so the full
+    // sweep (five kernel variants x shapes x samples) stays tractable.
+    let insts = (scale.target_insts() / 8).max(10_000);
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    println!(
+        "--- parallel_kernel (scale: {}, {insts} insts/core, host threads: {host_threads}, \
+         median of {SAMPLES} interleaved rounds) ---",
+        scale.label()
+    );
+    if host_threads < 2 {
+        println!("note: single-hardware-thread host — speedups cannot exceed 1.0 here");
+    }
+    let mut results = Vec::new();
+    for shape in SHAPES {
+        // Interleaved rounds: every variant of a round shares the
+        // machine's momentary clock state; per-variant median is robust
+        // to drift.
+        let mut walls: Vec<Vec<f64>> = vec![Vec::new(); 1 + THREADS.len()];
+        let mut event_stats = None;
+        for _ in 0..SAMPLES {
+            let (es, et) = run_once(&shape, Kernel::Event, 1, insts);
+            walls[0].push(et);
+            for (i, &threads) in THREADS.iter().enumerate() {
+                let (ps, pt) = run_once(&shape, Kernel::Parallel, threads, insts);
+                assert_eq!(
+                    es, ps,
+                    "parallel kernel diverged on {} with {threads} threads",
+                    shape.name
+                );
+                walls[1 + i].push(pt);
+            }
+            event_stats = Some(es);
+        }
+        let stats = event_stats.expect("SAMPLES > 0");
+        for (i, threads) in std::iter::once(0).chain(THREADS).enumerate() {
+            let mut w = walls[i].clone();
+            w.sort_by(f64::total_cmp);
+            let m = Measurement {
+                shape,
+                threads,
+                wall_s: w[w.len() / 2],
+                sim_cycles: stats.cpu_cycles,
+            };
+            println!(
+                "{:<10} {:<12} {:>8.3} s   {:>12.0} sim cycles/s",
+                shape.name,
+                m.kernel_label(),
+                m.wall_s,
+                m.cycles_per_sec(),
+            );
+            results.push(m);
+        }
+    }
+    let report = json_report(scale, host_threads, &results);
+    let path = figaro_bench::artifact_path("BENCH_parallel.json");
+    std::fs::write(&path, &report).expect("write BENCH_parallel.json");
+    println!("wrote {}", path.display());
+}

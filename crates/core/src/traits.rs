@@ -66,7 +66,9 @@ impl CacheStats {
 /// no active relocation job (the engine hands out pending jobs in FIFO
 /// order; jobs are self-contained command generators). Job completion is
 /// reported back through [`CacheEngine::on_job_complete`].
-pub trait CacheEngine: std::fmt::Debug {
+/// (`Send` so a whole `MemoryController` — which boxes its engine — can
+/// move to a worker thread of the sharded parallel kernel.)
+pub trait CacheEngine: std::fmt::Debug + Send {
     /// Looks up a demand request to (`bank`, `row`, `col`) and decides
     /// where to serve it; updates tag-store state (benefit counters,
     /// insertion decisions) as a side effect.

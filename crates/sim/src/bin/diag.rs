@@ -19,9 +19,12 @@ fn usage() -> ! {
          scale   tiny | small | full (default: small)\n\
          \n\
          env: FIGARO_SCHED=frfcfs|fcfs|frfcfs-cap<N>|wdrain<H>-<L> picks the\n\
-         memory-controller scheduling policy, FIGARO_KERNEL=event|reference\n\
-         the simulation kernel, FIGARO_MAP=paper|chfirst|rowint[-xor] the\n\
-         DRAM address mapping, FIGARO_PAGEMAP=ident|rand<seed>|color<N>\n\
+         memory-controller scheduling policy,\n\
+         FIGARO_KERNEL=event|reference|parallel the simulation kernel,\n\
+         FIGARO_THREADS=<N> the parallel kernel's worker-thread count\n\
+         (default: available parallelism, clamped to the channel count;\n\
+         results never depend on it), FIGARO_MAP=paper|chfirst|rowint[-xor]\n\
+         the DRAM address mapping, FIGARO_PAGEMAP=ident|rand<seed>|color<N>\n\
          the OS page-frame placement, and\n\
          FIGARO_LOAD=fixed:G|poisson:G|bursty:ON,OPS,IDLE replaces the\n\
          app's own issue gaps with an open-loop arrival process."
@@ -57,6 +60,8 @@ fn main() {
     let insts = (scale.target_insts() as f64 * (profile.nonmem_per_mem + 1.0) / 3.0) as u64;
     let insts = insts.clamp(scale.target_insts(), scale.target_insts() * 12);
     let cfg = SystemConfig::paper(1, kind.clone());
+    let kernel = cfg.kernel;
+    let threads = cfg.worker_threads();
     let sched = cfg.mc.sched;
     let map = cfg.mc.map;
     let page_map = cfg.page_map;
@@ -72,8 +77,9 @@ fn main() {
     let s = sys.run(insts * 400);
 
     println!(
-        "app={app} config={} insts={insts} sched={} map={} pagemap={}",
+        "app={app} config={} insts={insts} kernel={} threads={threads} sched={} map={} pagemap={}",
         kind.label(),
+        kernel.label(),
         sched.label(),
         map.label(),
         page_map.label()

@@ -42,6 +42,7 @@
 pub mod config;
 pub mod experiments;
 pub mod metrics;
+pub(crate) mod parallel;
 pub mod report;
 pub mod runner;
 pub mod system;

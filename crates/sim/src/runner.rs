@@ -19,6 +19,7 @@
 use std::collections::HashMap;
 use std::fs;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use rayon::prelude::*;
@@ -629,7 +630,10 @@ impl Runner {
     /// per-cycle oracle.
     fn kernel_suffix(&self) -> &'static str {
         match self.kernel {
-            Kernel::Event => "",
+            // The parallel kernel is bit-identical to the event kernel,
+            // so the two share the canonical cache keys — a result
+            // computed by either is valid for both.
+            Kernel::Event | Kernel::Parallel => "",
             Kernel::Reference => "-refkernel",
         }
     }
@@ -717,11 +721,22 @@ impl Runner {
 
     /// A [`SystemConfig::paper`] system with this runner's kernel,
     /// scheduling policy, address mapping and page placement.
+    ///
+    /// While a batch/matrix fan-out is in flight, the parallel kernel's
+    /// intra-run worker threads are capped at 1: the batch already
+    /// saturates the machine with independent runs, and `runs × shards`
+    /// threads would only oversubscribe it. Thread count never affects
+    /// simulated results, so the cap is invisible in every `RunSummary`.
     fn system_config(&self, cores: usize, kind: ConfigKind) -> SystemConfig {
-        SystemConfig { kernel: self.kernel, ..SystemConfig::paper(cores, kind) }
+        let cfg = SystemConfig { kernel: self.kernel, ..SystemConfig::paper(cores, kind) }
             .with_sched(self.sched)
             .with_mapping(self.map)
-            .with_page_map(self.page_map)
+            .with_page_map(self.page_map);
+        if BATCH_ACTIVE.load(Ordering::Relaxed) > 0 {
+            cfg.with_threads(1)
+        } else {
+            cfg
+        }
     }
 
     /// The process-wide per-cache-file lock: concurrent batch workers
@@ -961,6 +976,7 @@ impl Runner {
     ) -> Vec<Vec<RunSummary>> {
         let specs: Vec<(usize, usize)> =
             (0..apps.len()).flat_map(|a| (0..kinds.len()).map(move |k| (a, k))).collect();
+        let _batch = BatchGuard::enter();
         let flat: Vec<RunSummary> = specs
             .into_par_iter()
             .map(|(a, k)| self.run_single(&apps[a], kinds[k].clone()))
@@ -973,6 +989,7 @@ impl Runner {
     pub fn run_mix_matrix(&self, mixes: &[Mix], kinds: &[ConfigKind]) -> Vec<Vec<RunSummary>> {
         let specs: Vec<(usize, usize)> =
             (0..mixes.len()).flat_map(|m| (0..kinds.len()).map(move |k| (m, k))).collect();
+        let _batch = BatchGuard::enter();
         let flat: Vec<RunSummary> = specs
             .into_par_iter()
             .map(|(m, k)| self.run_mix(&mixes[m], kinds[k].clone()))
@@ -989,7 +1006,31 @@ impl Runner {
         T: Send,
         F: Fn(usize) -> T + Sync,
     {
+        let _batch = BatchGuard::enter();
         (0..n).into_par_iter().map(f).collect::<Vec<_>>()
+    }
+}
+
+/// Number of batch/matrix fan-outs currently in flight, process-wide.
+/// Non-zero means the rayon pool is already busy with whole runs, so
+/// [`Runner::system_config`] pins each run's shard-parallel kernel to one
+/// worker thread instead of stacking pools (`runs × shards` threads).
+static BATCH_ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+/// RAII scope for [`BATCH_ACTIVE`]; drops on unwind too, so a panicking
+/// batch cannot leave later serial runs permanently single-threaded.
+struct BatchGuard;
+
+impl BatchGuard {
+    fn enter() -> Self {
+        BATCH_ACTIVE.fetch_add(1, Ordering::Relaxed);
+        Self
+    }
+}
+
+impl Drop for BatchGuard {
+    fn drop(&mut self) {
+        BATCH_ACTIVE.fetch_sub(1, Ordering::Relaxed);
     }
 }
 

@@ -17,35 +17,36 @@
 //! component state changes except the batched counters, and every
 //! component horizon is a lower bound on its next state change.
 
-use std::collections::VecDeque;
-
 use figaro_cpu::{CacheHierarchy, TraceCore};
 use figaro_dram::AddressMapping;
 use figaro_energy::{DramEnergyModel, SystemActivity, SystemEnergyModel};
-use figaro_memctrl::{Completion, MemoryController, Request};
+use figaro_memctrl::{Completion, MemoryController};
 use figaro_workloads::{PageMapKind, PageMappedSource, PageMapper, Trace, TraceSource};
 
 use crate::config::{Kernel, SystemConfig};
 use crate::metrics::RunStats;
+use crate::parallel::ChannelShard;
 
-/// One runnable system: cores + hierarchy + per-channel controllers.
+/// One runnable system: cores + hierarchy + per-channel shards (each a
+/// controller plus its backlog — the ownership unit the parallel kernel
+/// hands to worker threads; the serial kernels walk the same shards in
+/// channel order).
 #[derive(Debug)]
 pub struct System {
-    cfg: SystemConfig,
-    cores: Vec<TraceCore>,
-    hierarchy: CacheHierarchy,
-    mcs: Vec<MemoryController>,
-    mapping: AddressMapping,
-    /// Requests that found a full controller queue, per channel.
-    backlog: Vec<VecDeque<Request>>,
-    /// Total entries across `backlog` (early-out for the router).
+    pub(crate) cfg: SystemConfig,
+    pub(crate) cores: Vec<TraceCore>,
+    pub(crate) hierarchy: CacheHierarchy,
+    pub(crate) shards: Vec<ChannelShard>,
+    pub(crate) mapping: AddressMapping,
+    /// Total entries across the shard backlogs (early-out for the serial
+    /// router; the parallel kernel tracks per-shard state instead).
     backlog_len: usize,
     /// Reused completion scratch buffer (no per-bus-cycle allocation).
     completion_buf: Vec<Completion>,
     /// `log2(cpu_cycles_per_bus)` when it is a power of two: boundary
     /// checks then use mask/shift instead of a runtime div (hot path).
     bus_shift: Option<u32>,
-    cpu_cycle: u64,
+    pub(crate) cpu_cycle: u64,
 }
 
 impl System {
@@ -86,8 +87,10 @@ impl System {
         // use — mismatched mappings would send requests to the wrong
         // channel (the controller asserts this on enqueue).
         let mapping = dram.address_mapping(cfg.mc.map);
-        let mcs: Vec<MemoryController> = (0..cfg.channels)
-            .map(|ch| MemoryController::new(&dram, cfg.mc, ch, cfg.build_engine(&dram)))
+        let shards: Vec<ChannelShard> = (0..cfg.channels)
+            .map(|ch| {
+                ChannelShard::new(MemoryController::new(&dram, cfg.mc, ch, cfg.build_engine(&dram)))
+            })
             .collect();
         let hierarchy = CacheHierarchy::new(cfg.hierarchy, cfg.cores);
         // OS page-frame placement wraps every source; identity skips the
@@ -115,7 +118,6 @@ impl System {
             .enumerate()
             .map(|(i, (s, &target))| TraceCore::from_source(i, cfg.core, s, target))
             .collect();
-        let channels = cfg.channels as usize;
         let bus_shift = cfg
             .cpu_cycles_per_bus
             .is_power_of_two()
@@ -124,9 +126,8 @@ impl System {
             cfg,
             cores,
             hierarchy,
-            mcs,
+            shards,
             mapping,
-            backlog: vec![VecDeque::new(); channels],
             backlog_len: 0,
             completion_buf: Vec::new(),
             bus_shift,
@@ -134,10 +135,10 @@ impl System {
         }
     }
 
-    /// Immutable access to the controllers (stats inspection).
-    #[must_use]
-    pub fn controllers(&self) -> &[MemoryController] {
-        &self.mcs
+    /// Immutable access to the controllers (stats inspection), in
+    /// channel order.
+    pub fn controllers(&self) -> impl Iterator<Item = &MemoryController> {
+        self.shards.iter().map(|s| &s.mc)
     }
 
     fn route_requests(&mut self, bus: u64) {
@@ -145,7 +146,7 @@ impl System {
         if self.hierarchy.has_outgoing() {
             for req in self.hierarchy.take_outgoing() {
                 let ch = self.mapping.decode(req.addr).channel as usize;
-                self.backlog[ch].push_back(req);
+                self.shards[ch].push_backlog(req);
                 self.backlog_len += 1;
             }
         }
@@ -153,17 +154,8 @@ impl System {
             return;
         }
         // ...which drains in order while the controller accepts.
-        for (ch, q) in self.backlog.iter_mut().enumerate() {
-            while let Some(front) = q.front() {
-                if self.mcs[ch].can_accept(front.is_write) {
-                    let mut req = q.pop_front().expect("front exists");
-                    self.backlog_len -= 1;
-                    req.arrival = bus;
-                    self.mcs[ch].enqueue(req, bus);
-                } else {
-                    break;
-                }
-            }
+        for sh in &mut self.shards {
+            self.backlog_len -= sh.accept_backlog(bus);
         }
     }
 
@@ -171,7 +163,7 @@ impl System {
     /// when the divisor is a power of two — this is the hot path of both
     /// kernels).
     #[inline]
-    fn bus_boundary(&self, now: u64, per_bus: u64) -> Option<u64> {
+    pub(crate) fn bus_boundary(&self, now: u64, per_bus: u64) -> Option<u64> {
         match self.bus_shift {
             Some(s) => (now & ((1u64 << s) - 1) == 0).then(|| now >> s),
             None => now.is_multiple_of(per_bus).then(|| now / per_bus),
@@ -201,23 +193,23 @@ impl System {
     fn step_bus(&mut self, bus: u64, per_bus: u64, fill_latency: u64, event_mode: bool) {
         self.route_requests(bus);
         if event_mode {
-            for mc in &mut self.mcs {
+            for sh in &mut self.shards {
                 // The controller memoizes its horizon, so this is a
                 // cheap check when it has not acted since.
-                if mc.next_event_at(bus).is_some_and(|h| h <= bus) {
-                    mc.tick(bus);
+                if sh.mc.next_event_at(bus).is_some_and(|h| h <= bus) {
+                    sh.mc.tick(bus);
                 }
             }
         } else {
-            for mc in &mut self.mcs {
-                mc.tick(bus);
+            for sh in &mut self.shards {
+                sh.mc.tick(bus);
             }
         }
-        for ch in 0..self.mcs.len() {
-            if !self.mcs[ch].has_completions() {
+        for ch in 0..self.shards.len() {
+            if !self.shards[ch].mc.has_completions() {
                 continue;
             }
-            self.mcs[ch].drain_completions_into(&mut self.completion_buf);
+            self.shards[ch].mc.drain_completions_into(&mut self.completion_buf);
             for i in 0..self.completion_buf.len() {
                 let c = self.completion_buf[i];
                 let ready_cpu = c.done_at * per_bus + fill_latency;
@@ -244,11 +236,9 @@ impl System {
             }
             // ...as does backlog the controllers now have room for.
             if self.backlog_len > 0 {
-                for (ch, q) in self.backlog.iter().enumerate() {
-                    if let Some(front) = q.front() {
-                        if self.mcs[ch].can_accept(front.is_write) {
-                            next = next.min(boundary);
-                        }
+                for sh in &self.shards {
+                    if sh.backlog_front_acceptable() {
+                        next = next.min(boundary);
                     }
                 }
             }
@@ -274,8 +264,8 @@ impl System {
         // its wake) happen.
         if next > boundary {
             let from_bus = now / per_bus + 1;
-            for mc in &mut self.mcs {
-                if let Some(bus) = mc.next_event_at(from_bus) {
+            for sh in &mut self.shards {
+                if let Some(bus) = sh.mc.next_event_at(from_bus) {
                     next = next.min(bus.saturating_mul(per_bus));
                 }
             }
@@ -290,6 +280,7 @@ impl System {
         match self.cfg.kernel {
             Kernel::Reference => self.run_reference(max_cpu_cycles),
             Kernel::Event => self.run_event(max_cpu_cycles),
+            Kernel::Parallel => self.run_parallel(max_cpu_cycles),
         }
     }
 
@@ -307,7 +298,7 @@ impl System {
     /// Next-event time skipping ([`Kernel::Event`]): execute the same
     /// per-cycle step as the reference kernel, but only at event cycles;
     /// skipped intervals are folded into the blocked counters.
-    fn run_event(&mut self, max_cpu_cycles: u64) -> RunStats {
+    pub(crate) fn run_event(&mut self, max_cpu_cycles: u64) -> RunStats {
         let per_bus = self.cfg.cpu_cycles_per_bus;
         let fill_latency = u64::from(self.cfg.hierarchy.fill_latency);
         // Only live cores are ticked/skipped: a finished core's tick is a
@@ -356,11 +347,11 @@ impl System {
         self.collect()
     }
 
-    fn collect(&self) -> RunStats {
+    pub(crate) fn collect(&self) -> RunStats {
         let mut mc = figaro_memctrl::McStats::default();
         let mut dram = figaro_dram::DramStats::default();
         let mut cache = figaro_core::CacheStats::default();
-        for m in &self.mcs {
+        for m in self.shards.iter().map(|s| &s.mc) {
             mc.merge_from(m.stats());
             dram.merge_from(m.dram_stats());
             let e = m.engine_stats();
@@ -455,6 +446,117 @@ mod tests {
             let event = run_with_kernel(ConfigKind::FigCacheFast, Kernel::Event, cores, 12_000);
             assert_eq!(reference, event, "kernel divergence with {cores} cores");
         }
+    }
+
+    fn run_parallel_threads(
+        kind: ConfigKind,
+        threads: usize,
+        cores: usize,
+        insts: u64,
+    ) -> RunStats {
+        let apps = ["mcf", "lbm", "zeusmp", "libquantum"];
+        let traces: Vec<Trace> = (0..cores)
+            .map(|i| {
+                let p = profile_by_name(apps[i % apps.len()]).unwrap();
+                generate_trace(&p, 8_000, 7 + i as u64)
+            })
+            .collect();
+        let cfg = SystemConfig { kernel: Kernel::Parallel, ..SystemConfig::paper(cores, kind) }
+            .with_threads(threads);
+        let mut sys = System::new(cfg, traces, &vec![insts; cores]);
+        sys.run(insts * 400)
+    }
+
+    #[test]
+    fn parallel_kernel_matches_event_multicore_multichannel() {
+        // Same traces/seeds as `run_with_kernel`, so the event run is the
+        // oracle: four channels, one worker thread per shard.
+        for cores in [2usize, 4] {
+            let event = run_with_kernel(ConfigKind::FigCacheFast, Kernel::Event, cores, 12_000);
+            let parallel = run_parallel_threads(ConfigKind::FigCacheFast, 4, cores, 12_000);
+            assert_eq!(event, parallel, "parallel kernel divergence with {cores} cores");
+        }
+    }
+
+    #[test]
+    fn parallel_kernel_is_thread_count_invariant() {
+        // Worker threads are a wall-clock knob only: 1 (inline epochs),
+        // 2 (shards shared), 4 (one each) and 8 (clamped to 4) must all
+        // produce the identical RunStats.
+        let event = run_with_kernel(ConfigKind::FigCacheFast, Kernel::Event, 4, 10_000);
+        for threads in [1usize, 2, 4, 8] {
+            let parallel = run_parallel_threads(ConfigKind::FigCacheFast, threads, 4, 10_000);
+            assert_eq!(event, parallel, "divergence with {threads} worker threads");
+        }
+    }
+
+    #[test]
+    fn parallel_kernel_single_channel_degenerates_to_event() {
+        // One channel: `run_parallel` must fall straight through to the
+        // event kernel (nothing to shard), bit-identically.
+        let event = run_with_kernel(ConfigKind::Base, Kernel::Event, 1, 30_000);
+        let parallel = run_with_kernel(ConfigKind::Base, Kernel::Parallel, 1, 30_000);
+        assert_eq!(event, parallel);
+    }
+
+    #[test]
+    fn parallel_kernel_matches_event_under_backlog_saturation() {
+        // The hardest shape for the lookahead bound: queues shrunk to 4
+        // entries so the per-channel backlog stays pinned, FIGCache
+        // relocation traffic keeping banks pinned/merging, and a
+        // non-power-of-two CPU:bus ratio with a large fill latency.
+        let run = |kernel: Kernel, threads: usize| {
+            let apps = ["mcf", "com", "tigr", "mum"];
+            let traces: Vec<Trace> = apps
+                .iter()
+                .enumerate()
+                .map(|(i, n)| generate_trace(&profile_by_name(n).unwrap(), 8_000, 61 + i as u64))
+                .collect();
+            let mut cfg =
+                SystemConfig { kernel, ..SystemConfig::paper(4, ConfigKind::FigCacheFast) }
+                    .with_threads(threads);
+            cfg.channels = 2; // heavier per-channel contention
+            cfg.mc.read_queue_cap = 4;
+            cfg.mc.write_queue_cap = 4;
+            cfg.mc.wq_high = 3;
+            cfg.mc.wq_low = 1;
+            cfg.hierarchy.mshrs_per_core = 16;
+            cfg.hierarchy.fill_latency = 23;
+            cfg.cpu_cycles_per_bus = 5;
+            let mut sys = System::new(cfg, traces, &[10_000; 4]);
+            sys.run(40_000_000)
+        };
+        let event = run(Kernel::Event, 1);
+        for threads in [1usize, 2, 4] {
+            let parallel = run(Kernel::Parallel, threads);
+            assert_eq!(event, parallel, "divergence under saturation, {threads} threads");
+        }
+        for core in 0..4 {
+            assert_eq!(event.instructions[core], 10_000, "core {core} starved");
+        }
+        assert!(event.mc.enq_reads > 100, "workload must stress the queue");
+    }
+
+    #[test]
+    fn parallel_kernel_matches_event_at_cycle_cap() {
+        // A cap-truncated run must stop at the identical cycle with
+        // identical controller state (the catch-up epoch covers events in
+        // the final skipped stretch).
+        let run = |kernel: Kernel| {
+            let apps = ["mcf", "lbm"];
+            let traces: Vec<Trace> = apps
+                .iter()
+                .map(|n| generate_trace(&profile_by_name(n).unwrap(), 30_000, 9))
+                .collect();
+            let cfg = SystemConfig { kernel, ..SystemConfig::paper(2, ConfigKind::FigCacheFast) }
+                .with_threads(4);
+            let mut sys = System::new(cfg, traces, &[1_000_000; 2]);
+            sys.run(50_000)
+        };
+        let event = run(Kernel::Event);
+        let parallel = run(Kernel::Parallel);
+        assert_eq!(event.cpu_cycles, 50_000);
+        assert_eq!(event, parallel);
     }
 
     #[test]

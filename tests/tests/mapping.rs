@@ -57,10 +57,13 @@ fn golden_run(kind: &ConfigKind, sched: SchedPolicyKind, kernel: Kernel, cores: 
         })
         .collect();
     let insts = 12_000u64;
+    // A worker per channel for the parallel-kernel rows (the serial
+    // kernels never read the knob; thread count never changes results).
     let cfg = SystemConfig { kernel, ..SystemConfig::paper(cores, kind.clone()) }
         .with_sched(sched)
         .with_mapping(MapKind::paper())
-        .with_page_map(PageMapKind::Identity);
+        .with_page_map(PageMapKind::Identity)
+        .with_threads(4);
     let mut sys = System::new(cfg, traces, &vec![insts; cores]);
     sys.run(insts * 400)
 }
@@ -85,10 +88,10 @@ type GoldenRow = (
     u64,
 );
 
-#[test]
-fn default_mapping_and_identity_pages_reproduce_the_pr4_seed_bit_for_bit() {
-    // Captured on the pre-subsystem head (PR 4); the frfcfs rows equal
-    // the PR-4 seed goldens in tests/tests/sched_policies.rs.
+/// The PR-4/PR-5 seed goldens, captured on the pre-subsystem head; the
+/// frfcfs rows equal the PR-4 seed goldens in
+/// `tests/tests/sched_policies.rs`.
+fn seed_goldens() -> &'static [GoldenRow] {
     #[rustfmt::skip]
     let goldens: &[GoldenRow] = &[
         ("Base", "frfcfs", "reference", 1, 55780, 474, 45, 1000, 1519, 0, 0, 131866, 0, 2, 0),
@@ -124,7 +127,14 @@ fn default_mapping_and_identity_pages_reproduce_the_pr4_seed_bit_for_bit() {
         ("FIGCache-Fast", "wdrain48-8", "event", 1, 63752, 548, 87, 885, 1520, 0, 0, 147188, 13504, 2, 842),
         ("FIGCache-Fast", "wdrain48-8", "event", 4, 60264, 3746, 186, 1579, 5511, 0, 0, 472416, 26416, 8, 1650),
     ];
-    for &(label, sched_label, kernel_label, cores, a, b, c, d, e, f, g, h, i, j, k) in goldens {
+    goldens
+}
+
+#[test]
+fn default_mapping_and_identity_pages_reproduce_the_pr4_seed_bit_for_bit() {
+    for &(label, sched_label, kernel_label, cores, a, b, c, d, e, f, g, h, i, j, k) in
+        seed_goldens()
+    {
         let kind = if label == "Base" { ConfigKind::Base } else { ConfigKind::FigCacheFast };
         let sched = SchedPolicyKind::from_name(sched_label).expect("golden sched label known");
         let kernel = if kernel_label == "event" { Kernel::Event } else { Kernel::Reference };
@@ -133,6 +143,30 @@ fn default_mapping_and_identity_pages_reproduce_the_pr4_seed_bit_for_bit() {
             digest(&s),
             (a, b, c, d, e, f, g, h, i, j, k),
             "default mapping diverged from the seed: {label}/{sched_label}/{kernel_label}/{cores}c"
+        );
+    }
+}
+
+#[test]
+fn parallel_kernel_reproduces_the_seed_goldens_bit_for_bit() {
+    // The sharded parallel kernel must land on the same pre-subsystem
+    // digests as the serial kernels — on these shapes it runs 4 channels
+    // under 4 worker threads (and 1 channel inline for the single-core
+    // rows), so a lookahead or epoch-ordering bug shows up as a golden
+    // mismatch, not just an equivalence failure against a fresh run.
+    for &(label, sched_label, kernel_label, cores, a, b, c, d, e, f, g, h, i, j, k) in
+        seed_goldens()
+    {
+        if kernel_label != "event" {
+            continue; // one parallel run per (config, sched, cores) row
+        }
+        let kind = if label == "Base" { ConfigKind::Base } else { ConfigKind::FigCacheFast };
+        let sched = SchedPolicyKind::from_name(sched_label).expect("golden sched label known");
+        let s = golden_run(&kind, sched, Kernel::Parallel, cores);
+        assert_eq!(
+            digest(&s),
+            (a, b, c, d, e, f, g, h, i, j, k),
+            "parallel kernel diverged from the seed: {label}/{sched_label}/{cores}c"
         );
     }
 }

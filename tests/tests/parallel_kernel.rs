@@ -1,0 +1,102 @@
+//! Cross-crate proof obligation of the sharded parallel kernel: for
+//! random seeds, core counts, channel counts, scheduler policies and
+//! worker-thread counts (including one thread and more threads than
+//! channels), [`Kernel::Parallel`]'s [`RunStats`] are **bit-identical**
+//! to the serial event kernel's — which the `kernel_equivalence` suite
+//! in turn pins to the per-cycle reference loop.
+
+use proptest::prelude::*;
+
+use figaro_sim::{ConfigKind, Kernel, RunStats, SchedPolicyKind, System, SystemConfig};
+use figaro_workloads::{app_profiles, generate_trace, Trace};
+
+/// Runs one system built from `(seed, cores, channels, sched)` under
+/// `kernel` with `threads` parallel-kernel workers.
+#[allow(clippy::too_many_arguments)]
+fn run(
+    seed: u64,
+    cores: usize,
+    channels: u32,
+    kind: &ConfigKind,
+    sched: SchedPolicyKind,
+    kernel: Kernel,
+    threads: usize,
+    insts: u64,
+) -> RunStats {
+    let profiles = app_profiles();
+    let traces: Vec<Trace> = (0..cores)
+        .map(|i| {
+            let p = &profiles[(seed as usize + 7 * i) % profiles.len()];
+            generate_trace(p, 6_000, seed ^ (i as u64).wrapping_mul(0x9e37_79b9))
+        })
+        .collect();
+    let cfg = SystemConfig { kernel, ..SystemConfig::paper(cores, kind.clone()) }
+        .with_channels(channels)
+        .with_sched(sched)
+        .with_threads(threads);
+    let mut sys = System::new(cfg, traces, &vec![insts; cores]);
+    sys.run(insts * 400)
+}
+
+/// The four scheduler policies under test.
+fn sched_policies() -> [SchedPolicyKind; 4] {
+    [
+        SchedPolicyKind::FrFcfs,
+        SchedPolicyKind::Fcfs,
+        SchedPolicyKind::FrFcfsCap { cap: 4 },
+        SchedPolicyKind::WriteDrain { high: 24, low: 8 },
+    ]
+}
+
+/// A tiny deterministic instance of the property for CI's fast tier:
+/// four channels, a worker per channel, the paper mechanism.
+#[test]
+fn parallel_kernel_matches_event_smoke() {
+    let kind = ConfigKind::FigCacheFast;
+    let event = run(3, 2, 4, &kind, SchedPolicyKind::FrFcfs, Kernel::Event, 1, 8_000);
+    let parallel = run(3, 2, 4, &kind, SchedPolicyKind::FrFcfs, Kernel::Parallel, 4, 8_000);
+    assert_eq!(event, parallel);
+    assert!(event.dram.reads > 0, "workload never reached DRAM");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random seed x {Base, FIGCache-Fast} x four scheduler policies x
+    /// 1/2/4/8 channels x worker threads in {1, 2, channels, channels+3}:
+    /// the parallel kernel must agree bit-for-bit with the event kernel
+    /// on the full statistics record.
+    #[test]
+    fn parallel_kernel_is_bit_identical_to_event(
+        seed in 0u64..1_000_000,
+        cores_log2 in 0u32..3,
+        channels_log2 in 0u32..4,
+        kind_idx in 0usize..2,
+        sched_idx in 0usize..4,
+        threads_sel in 0usize..4,
+    ) {
+        let cores = 1usize << cores_log2;
+        let channels = 1u32 << channels_log2;
+        let kind = if kind_idx == 0 { ConfigKind::Base } else { ConfigKind::FigCacheFast };
+        let sched = sched_policies()[sched_idx];
+        // One thread (inline epochs), two, one per channel, and an
+        // oversubscribed request that `worker_threads` clamps down.
+        let threads = [1, 2, channels as usize, channels as usize + 3][threads_sel];
+        let insts = 8_000;
+        let event = run(seed, cores, channels, &kind, sched, Kernel::Event, 1, insts);
+        let parallel = run(seed, cores, channels, &kind, sched, Kernel::Parallel, threads, insts);
+        prop_assert_eq!(
+            &event,
+            &parallel,
+            "RunStats diverged: seed={} cores={} channels={} kind={} sched={} threads={}",
+            seed,
+            cores,
+            channels,
+            kind.label(),
+            sched.label(),
+            threads
+        );
+        prop_assert!(event.instructions.iter().all(|&i| i == insts));
+        prop_assert!(event.dram.reads > 0, "workload never reached DRAM");
+    }
+}
