@@ -47,9 +47,6 @@
 //! assert!(engine.has_pending_job(0));
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod config;
 pub mod engine;
 pub mod fts;

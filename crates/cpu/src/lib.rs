@@ -19,9 +19,6 @@
 //! the per-channel memory controllers and routes completions back via
 //! [`hierarchy::CacheHierarchy::on_completion`].
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod cache;
 pub mod core;
 pub mod hierarchy;

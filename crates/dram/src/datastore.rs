@@ -8,7 +8,7 @@
 //! describes — including **unaligned** copies (source column ≠ destination
 //! column) and the preservation of untouched destination columns.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::geometry::DramGeometry;
 use crate::layout::SubarrayLayout;
@@ -30,7 +30,12 @@ pub struct DataStore {
     /// (bank, subarray) → row currently latched in the LRB.
     lrb_row: HashMap<(u32, u32), RowId>,
     /// (bank, subarray) → columns deposited by RELOC, awaiting a merge.
-    pending: HashMap<(u32, u32), HashMap<u32, Vec<u8>>>,
+    /// `BTreeMap` (not `HashMap`): [`Self::activate_merge`] iterates the
+    /// inner map, and figlint's FIG001 bans order-nondeterministic walks
+    /// in result-affecting crates. (The merge writes disjoint column
+    /// ranges, so the order never changed bytes — but a deterministic
+    /// container makes that a non-theorem we don't have to re-prove.)
+    pending: BTreeMap<(u32, u32), BTreeMap<u32, Vec<u8>>>,
 }
 
 impl DataStore {

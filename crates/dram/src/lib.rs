@@ -53,9 +53,6 @@
 //! channel.issue(bank, &rd, t);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod address;
 pub mod channel;
 pub mod command;

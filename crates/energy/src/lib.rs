@@ -19,9 +19,6 @@
 //! *relative* behaviour (breakdowns and ratios), not absolute silicon
 //! calibration.
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod area;
 pub mod dram;
 pub mod system;

@@ -1,0 +1,9 @@
+pub struct Config {
+    pub channels: u32,
+    pub sched: u32,
+    pub free_reloc: bool,
+}
+
+pub fn cache_key(c: &Config) -> String {
+    format!("ch{}-s{}", c.channels, c.sched)
+}

@@ -1,0 +1,30 @@
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub struct Engine {
+    pending: HashMap<u32, u64>,
+}
+
+impl Engine {
+    pub fn drain(&mut self) -> u64 {
+        let t = Instant::now();
+        let mut sum = 0;
+        for (_k, v) in &self.pending {
+            sum += v;
+        }
+        let _ = t.elapsed();
+        sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+    #[test]
+    fn test_code_is_exempt() {
+        let seen: HashSet<u32> = HashSet::new();
+        for x in &seen {
+            let _ = x;
+        }
+    }
+}

@@ -1,0 +1,16 @@
+use std::collections::{BTreeMap, HashMap};
+
+pub struct Engine {
+    pending: BTreeMap<u32, u64>,
+    lookup: HashMap<u32, u64>,
+}
+
+impl Engine {
+    pub fn drain(&mut self) -> u64 {
+        let mut sum = 0;
+        for (_k, v) in &self.pending {
+            sum += v;
+        }
+        sum + self.lookup.get(&0).copied().unwrap_or(0)
+    }
+}

@@ -1,0 +1,7 @@
+pub fn kernel() -> Option<String> {
+    std::env::var("FIGARO_KERNEL").ok()
+}
+
+pub fn documented() -> bool {
+    std::env::var_os("FIGARO_SECRET").is_some()
+}

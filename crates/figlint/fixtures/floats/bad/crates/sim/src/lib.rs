@@ -1,0 +1,14 @@
+pub struct RunSummary {
+    pub ipc: f64,
+    pub cycles: u64,
+}
+
+impl RunSummary {
+    pub fn to_text(&self) -> String {
+        format!("ipc {}\ncycles {}\n", self.ipc, self.cycles)
+    }
+
+    pub fn report(&self) -> String {
+        format!("IPC was {:.3}", self.ipc)
+    }
+}

@@ -1,0 +1,17 @@
+pub type Cycle = u64;
+
+pub struct Controller {
+    next_refresh: Option<Cycle>,
+    next_demand: Option<Cycle>,
+}
+
+impl Controller {
+    pub fn in_order_horizon(&self) -> Cycle {
+        let refresh = self.next_refresh.unwrap_or(Cycle::MAX);
+        self.next_demand.map_or(Cycle::MAX, |d| d.min(refresh))
+    }
+
+    pub fn advance(&self) -> Cycle {
+        self.next_demand.unwrap_or(Cycle::MAX)
+    }
+}

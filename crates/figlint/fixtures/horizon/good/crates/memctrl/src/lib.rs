@@ -1,0 +1,20 @@
+pub type Cycle = u64;
+
+pub struct Controller {
+    next_refresh: Option<Cycle>,
+    next_demand: Option<Cycle>,
+}
+
+impl Controller {
+    pub fn in_order_horizon(&self) -> Cycle {
+        let refresh = self.next_refresh.unwrap_or(Cycle::MAX);
+        self.next_demand.map_or(Cycle::MAX, |d| d.min(refresh))
+    }
+
+    pub fn next_event(&self) -> Option<Cycle> {
+        match (self.next_refresh, self.next_demand) {
+            (Some(r), Some(d)) => Some(r.min(d)),
+            (r, d) => r.or(d),
+        }
+    }
+}

@@ -1,0 +1,17 @@
+pub fn first(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+pub fn must(x: Option<u32>) -> u32 {
+    x.expect("invariant: caller checked")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_unwrap_is_free() {
+        assert_eq!(super::must(Some(3)), 3);
+        let v: Vec<u32> = vec![1];
+        let _ = v.first().unwrap();
+    }
+}

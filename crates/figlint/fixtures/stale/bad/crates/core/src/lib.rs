@@ -1,0 +1,3 @@
+pub fn clean() -> u32 {
+    7
+}

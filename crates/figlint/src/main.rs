@@ -1,0 +1,53 @@
+//! CLI driver: `figlint [workspace-root]`.
+//!
+//! With no argument, walks upward from the current directory until a
+//! `figlint.toml` is found (so `cargo run -p figlint` works from any
+//! workspace subdirectory). Prints one `file:line: [RULE] message` per
+//! finding. Exit status: `0` clean, `1` violations, `2` config/IO
+//! errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args_os().nth(1).map(PathBuf::from) {
+        Some(p) => p,
+        None => match find_root() {
+            Some(p) => p,
+            None => {
+                eprintln!("figlint: no figlint.toml found walking up from the current directory");
+                return ExitCode::from(2);
+            }
+        },
+    };
+    match figlint::analyze_root(&root) {
+        Ok(diags) if diags.is_empty() => {
+            println!("figlint: clean ({} ok)", root.display());
+            ExitCode::SUCCESS
+        }
+        Ok(diags) => {
+            for d in &diags {
+                println!("{d}");
+            }
+            println!("figlint: {} violation(s)", diags.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("figlint: error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Nearest ancestor directory containing `figlint.toml`.
+fn find_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("figlint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! FIG004 — cache-key completeness: every result-affecting config field
+//! must reach the result-cache key.
+//!
+//! The on-disk result cache returns a stored summary whenever the key
+//! matches, so any config field that changes simulated results but is
+//! absent from the key builders makes the cache lie (the
+//! `FIGARO_FREE_RELOC` near-miss: an env toggle that changed relocation
+//! accounting but not the key). This rule mechanizes the audit:
+//!
+//! * `[cache_key] structs` — `"path: Struct"` entries whose fields are
+//!   the result-affecting knobs (`SystemConfig`, `McConfig`,
+//!   `Scenario`);
+//! * `[cache_key] key_fns` — `"path: fn"` entries naming the functions
+//!   that build cache keys and key suffixes.
+//!
+//! A field **covered** is one whose name appears (as a word) somewhere
+//! in a key-fn body — either interpolated directly or consumed by a
+//! suffix builder. Anything else needs an `[cache_key] allow` entry of
+//! the form `"Struct.field -- justification"` (e.g. fields that only
+//! select *how fast* to simulate, not *what* is simulated), or it is
+//! flagged at its declaration line.
+//!
+//! The check is name-based, so renaming a field and forgetting the key
+//! builder fails loudly — which is exactly the point.
+
+use crate::rules::AllowTracker;
+use crate::scan::{contains_word, SourceFile};
+use crate::{Diagnostic, Workspace};
+
+/// Runs FIG004 over the workspace.
+pub fn run(ws: &Workspace, tracker: &mut AllowTracker) -> Result<Vec<Diagnostic>, String> {
+    tracker.register("cache_key", ws.config.allow("cache_key")?);
+    // Concatenate the bodies of every configured key function.
+    let mut corpus = String::new();
+    for spec in ws.config.strings("cache_key.key_fns") {
+        let Some((path, fn_name)) = spec.split_once(": ") else {
+            return Err(format!(
+                "figlint.toml: [cache_key] key_fns entry `{spec}` must be `\"path: fn\"`"
+            ));
+        };
+        let (path, fn_name) = (path.trim(), fn_name.trim());
+        let Some(file) = ws.file(path) else {
+            return Err(format!("figlint.toml: [cache_key] key_fns: no such file `{path}`"));
+        };
+        let Some(span) = file.fns.iter().find(|f| f.name == fn_name) else {
+            return Err(format!(
+                "figlint.toml: [cache_key] key_fns: no fn `{fn_name}` in `{path}`"
+            ));
+        };
+        corpus.push_str(&file.code_span(span.start, span.end));
+        corpus.push('\n');
+    }
+    if corpus.is_empty() {
+        return Ok(Vec::new());
+    }
+    let mut diags = Vec::new();
+    for spec in ws.config.strings("cache_key.structs") {
+        let Some((path, struct_name)) = spec.split_once(": ") else {
+            return Err(format!(
+                "figlint.toml: [cache_key] structs entry `{spec}` must be `\"path: Struct\"`"
+            ));
+        };
+        let (path, struct_name) = (path.trim(), struct_name.trim());
+        let Some(file) = ws.file(path) else {
+            return Err(format!("figlint.toml: [cache_key] structs: no such file `{path}`"));
+        };
+        for (field, _ty, line) in struct_fields(file, struct_name)? {
+            if contains_word(&corpus, &field) {
+                continue;
+            }
+            if tracker.take("cache_key", &format!("{struct_name}.{field}")).is_some() {
+                continue;
+            }
+            diags.push(Diagnostic {
+                file: file.rel_path.clone(),
+                line,
+                rule: "FIG004",
+                message: format!(
+                    "`{struct_name}.{field}` never appears in a cache-key builder — a \
+                     result-affecting knob missing from the key silently corrupts the result \
+                     cache; key it, or allowlist `{struct_name}.{field}` with a justification"
+                ),
+            });
+        }
+    }
+    Ok(diags)
+}
+
+/// `(name, type, decl_line)` for each named field of `struct_name` in
+/// `file`. Errors when the struct is not found.
+pub fn struct_fields(
+    file: &SourceFile,
+    struct_name: &str,
+) -> Result<Vec<(String, String, usize)>, String> {
+    let decl = file
+        .code_lines
+        .iter()
+        .position(|c| {
+            contains_word(c, "struct") && contains_word(c, struct_name) && !c.contains("impl")
+        })
+        .ok_or_else(|| format!("figlint.toml: no `struct {struct_name}` in `{}`", file.rel_path))?;
+    let mut fields = Vec::new();
+    let mut depth = 0usize;
+    let mut opened = false;
+    for (i, code) in file.code_lines.iter().enumerate().skip(decl) {
+        if opened && depth == 1 {
+            let t = code.trim();
+            let t = t.strip_prefix("pub ").unwrap_or(t);
+            if let Some((name, ty)) = t.split_once(':') {
+                let name = name.trim();
+                if !name.is_empty()
+                    && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                    && !name.chars().next().is_some_and(|c| c.is_ascii_digit())
+                {
+                    fields.push((name.to_string(), ty.trim().to_string(), i + 1));
+                }
+            }
+        }
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                '}' => depth = depth.saturating_sub(1),
+                _ => {}
+            }
+        }
+        if opened && depth == 0 {
+            break;
+        }
+    }
+    Ok(fields)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_struct_fields_with_lines() {
+        let src = "\
+/// Doc.\n\
+pub struct Cfg {\n\
+    /// Cores.\n\
+    pub cores: usize,\n\
+    pub sched: Sched, // which\n\
+    limits: Vec<f64>,\n\
+}\n\
+pub struct Other { pub x: u8 }\n";
+        let f = SourceFile::lex("a.rs", src);
+        let fields = struct_fields(&f, "Cfg").unwrap();
+        let names: Vec<&str> = fields.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["cores", "sched", "limits"]);
+        assert_eq!(fields[0].2, 4);
+        assert!(fields[2].1.contains("f64"));
+        assert!(struct_fields(&f, "Missing").is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! FIG006 — panic audit: panic sites in library code are budgeted, not
+//! free.
+//!
+//! `unwrap`/`expect`/`panic!` in the simulator crates are sometimes the
+//! right call (an invariant the type system cannot carry), but each one
+//! is a latent abort in a long sweep, so growth must be deliberate. The
+//! rule counts panic sites (`.unwrap()`, `.expect(`, `panic!(`,
+//! `unreachable!(`, `todo!(`, `unimplemented!(`) per file in the
+//! `[panics] crates` scope, outside `#[cfg(test)]` code, and compares
+//! the count against that file's allowlist **budget**:
+//!
+//! ```text
+//! allow = ["crates/sim/src/runner.rs: 12 -- cache I/O asserts documented invariants"]
+//! ```
+//!
+//! * more sites than the budget → FIG006 (growth must be reviewed);
+//! * fewer sites than the budget → FIG006 (tighten the budget so the
+//!   ratchet only ever moves down by accident, never up);
+//! * a file with sites but no entry → FIG006;
+//! * an entry for a file with no sites → FIG000 (stale).
+
+use crate::rules::{in_crates, AllowTracker};
+use crate::{Diagnostic, Workspace};
+
+/// Tokens that abort the process.
+const PANIC_TOKENS: &[&str] =
+    &[".unwrap()", ".expect(", "panic!(", "unreachable!(", "todo!(", "unimplemented!("];
+
+/// Runs FIG006 over the workspace.
+pub fn run(ws: &Workspace, tracker: &mut AllowTracker) -> Result<Vec<Diagnostic>, String> {
+    let crates = ws.config.strings("panics.crates");
+    tracker.register("panics", ws.config.allow("panics")?);
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        if !in_crates(&file.rel_path, &crates) {
+            continue;
+        }
+        let mut count = 0usize;
+        let mut first_line = 0usize;
+        for (i, code) in file.code_lines.iter().enumerate() {
+            let line = i + 1;
+            if file.is_test_line(line) {
+                continue;
+            }
+            let sites: usize = PANIC_TOKENS.iter().map(|t| code.matches(t).count()).sum();
+            if sites > 0 && first_line == 0 {
+                first_line = line;
+            }
+            count += sites;
+        }
+        if count == 0 {
+            continue; // an allow entry for this file will surface as FIG000
+        }
+        let Some(entry) = tracker.take("panics", &file.rel_path) else {
+            diags.push(Diagnostic {
+                file: file.rel_path.clone(),
+                line: first_line,
+                rule: "FIG006",
+                message: format!(
+                    "{count} panic site(s) in library code with no `[panics]` allow budget — \
+                     add `\"{}: {count} -- <why>\"` after review",
+                    file.rel_path
+                ),
+            });
+            continue;
+        };
+        let budget: usize = match entry.token.as_deref().map(str::parse) {
+            Some(Ok(n)) => n,
+            _ => {
+                return Err(format!(
+                    "figlint.toml:{}: [panics] allow entry for `{}` needs a decimal site \
+                     budget token (`\"path: N -- why\"`)",
+                    entry.line, entry.path
+                ))
+            }
+        };
+        if count > budget {
+            diags.push(Diagnostic {
+                file: file.rel_path.clone(),
+                line: first_line,
+                rule: "FIG006",
+                message: format!(
+                    "{count} panic site(s) exceed the budget of {budget} — new aborts in \
+                     library code must be reviewed; fix them or raise the budget with a \
+                     justification"
+                ),
+            });
+        } else if count < budget {
+            diags.push(Diagnostic {
+                file: file.rel_path.clone(),
+                line: first_line,
+                rule: "FIG006",
+                message: format!(
+                    "{count} panic site(s) under the budget of {budget} — tighten the budget \
+                     to {count} so the ratchet cannot silently grow back"
+                ),
+            });
+        }
+    }
+    Ok(diags)
+}

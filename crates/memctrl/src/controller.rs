@@ -22,7 +22,11 @@ use crate::scheduler::{self, PrepAction, SchedPolicy, SchedPolicyKind};
 /// Whether the `FIGARO_FREE_RELOC` debug ablation is active. Read once
 /// per process (the controller consults it on the tick hot path and the
 /// event-horizon path, which must agree).
-fn free_reloc_mode() -> bool {
+///
+/// Public because the ablation changes simulated results, so the result
+/// cache must see it: the sim runner appends a `-freereloc` key suffix
+/// whenever this returns `true`.
+pub fn free_reloc_active() -> bool {
     static MODE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
     *MODE.get_or_init(|| std::env::var_os("FIGARO_FREE_RELOC").is_some())
 }
@@ -490,7 +494,7 @@ impl MemoryController {
         // Debug ablation (FIGARO_FREE_RELOC=1): train commands cost no
         // command-bus slot; used to attribute overhead between bus
         // pressure and relocation latency.
-        if free_reloc_mode() {
+        if free_reloc_active() {
             for _ in 0..16 {
                 if !self.try_issue_job_step(now, true) {
                     break;
@@ -576,7 +580,7 @@ impl MemoryController {
         if self.read_q.is_empty() && self.write_q.is_empty() && !any_job && !any_pending {
             return (best != Cycle::MAX).then_some(best);
         }
-        if free_reloc_mode() && (any_job || any_pending) {
+        if free_reloc_active() && (any_job || any_pending) {
             // The debug ablation issues free train steps on every tick.
             return Some(from);
         }

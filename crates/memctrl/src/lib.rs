@@ -35,9 +35,6 @@
 //! (single command bus). Event-driven callers use
 //! [`MemoryController::next_event_at`], whose horizon is policy-aware.
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod bank;
 pub mod controller;
 pub mod histogram;
@@ -45,7 +42,7 @@ pub mod queues;
 pub mod request;
 pub mod scheduler;
 
-pub use controller::{McConfig, McStats, MemoryController};
+pub use controller::{free_reloc_active, McConfig, McStats, MemoryController};
 pub use histogram::LatencyHistogram;
 pub use request::{Completion, Request, BLOCK_BYTES};
 pub use scheduler::{SchedPolicy, SchedPolicyKind};

@@ -18,16 +18,28 @@ fn usage() -> ! {
          config  base | lisa | slow | fast | ideal | ll (default: fast)\n\
          scale   tiny | small | full (default: small)\n\
          \n\
-         env: FIGARO_SCHED=frfcfs|fcfs|frfcfs-cap<N>|wdrain<H>-<L> picks the\n\
+         env (result-affecting):\n\
+         FIGARO_SCHED=frfcfs|fcfs|frfcfs-cap<N>|wdrain<H>-<L> picks the\n\
          memory-controller scheduling policy,\n\
          FIGARO_KERNEL=event|reference|parallel the simulation kernel,\n\
-         FIGARO_THREADS=<N> the parallel kernel's worker-thread count\n\
-         (default: available parallelism, clamped to the channel count;\n\
-         results never depend on it), FIGARO_MAP=paper|chfirst|rowint[-xor]\n\
-         the DRAM address mapping, FIGARO_PAGEMAP=ident|rand<seed>|color<N>\n\
-         the OS page-frame placement, and\n\
+         FIGARO_MAP=paper|chfirst|rowint[-xor] the DRAM address mapping,\n\
+         FIGARO_PAGEMAP=ident|rand<seed>|color<N> the OS page-frame\n\
+         placement,\n\
          FIGARO_LOAD=fixed:G|poisson:G|bursty:ON,OPS,IDLE replaces the\n\
-         app's own issue gaps with an open-loop arrival process."
+         app's own issue gaps with an open-loop arrival process,\n\
+         FIGARO_SCALE=tiny|small|full the per-core instruction target in\n\
+         the sweep binaries,\n\
+         FIGARO_FREE_RELOC=1 zero-cost relocation ablation (debug only;\n\
+         cache keys grow a -freereloc suffix)\n\
+         \n\
+         env (never affects results):\n\
+         FIGARO_THREADS=<N> the parallel kernel's worker-thread count\n\
+         (default: available parallelism, clamped to the channel count),\n\
+         FIGARO_FULL_SWEEPS=1 runs Figs. 12-15 over all 20 profiles,\n\
+         FIGARO_SLOW_TESTS=1 enables the ignored full-scale tests,\n\
+         FIGARO_LONG_OPS=<N> ops per core in the long streaming test,\n\
+         FIGARO_LONG_RUN=<N> ops per core in the streaming bench,\n\
+         FIGARO_MC_ITERS=<N> iterations of the controller microbench."
     );
     std::process::exit(2)
 }

@@ -36,9 +36,6 @@
 //! assert!(fig.ipc[0] > 0.0 && base.ipc[0] > 0.0);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod config;
 pub mod experiments;
 pub mod metrics;

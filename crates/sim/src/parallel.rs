@@ -214,6 +214,11 @@ const INLINE_WINDOW: u64 = 8;
 /// index set, and `WorkerPool::run` does not return until every worker
 /// (caller included) is done, so no shard is ever touched by two threads.
 fn advance_all(shards: &mut [ChannelShard], target: u64, pool: &WorkerPool) {
+    /// A `Sync` view of the shard slice for the raw-pointer fan-out; the
+    /// disjoint round-robin partition is what makes the `&mut` derivation
+    /// in the worker body sound.
+    struct ShardPtr(*mut ChannelShard, usize);
+    unsafe impl Sync for ShardPtr {}
     let min_frontier = shards.iter().map(|s| s.frontier).min().unwrap_or(target);
     if pool.threads() <= 1
         || shards.len() <= 1
@@ -224,11 +229,6 @@ fn advance_all(shards: &mut [ChannelShard], target: u64, pool: &WorkerPool) {
         }
         return;
     }
-    /// A `Sync` view of the shard slice for the raw-pointer fan-out; the
-    /// disjoint round-robin partition is what makes the `&mut` derivation
-    /// in the worker body sound.
-    struct ShardPtr(*mut ChannelShard, usize);
-    unsafe impl Sync for ShardPtr {}
     let threads = pool.threads();
     let ptr = ShardPtr(shards.as_mut_ptr(), shards.len());
     // Capture the Sync wrapper itself, not its raw-pointer field.

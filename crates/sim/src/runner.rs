@@ -677,15 +677,36 @@ impl Runner {
         arrival.map_or_else(String::new, |a| format!("-arr-{}", a.label()))
     }
 
+    /// Cache-key fragment for the `FIGARO_FREE_RELOC` debug ablation:
+    /// empty normally, `-freereloc` when the ablation is active. The
+    /// toggle changes relocation accounting (and therefore results), so
+    /// without this suffix an ablated run would poison — or be poisoned
+    /// by — the canonical cache entries.
+    fn freereloc_suffix() -> &'static str {
+        Self::ablation_suffix_for(figaro_memctrl::free_reloc_active())
+    }
+
+    /// Pure mapping behind [`Self::freereloc_suffix`], split out so tests
+    /// can cover both arms without mutating process environment.
+    fn ablation_suffix_for(active: bool) -> &'static str {
+        if active {
+            "-freereloc"
+        } else {
+            ""
+        }
+    }
+
     /// All non-canonical cache-key suffixes of this runner's fixed
-    /// configuration (kernel, scheduler, mapping, page placement).
+    /// configuration (kernel, scheduler, mapping, page placement,
+    /// debug ablations).
     fn config_suffixes(&self) -> String {
         format!(
-            "{}{}{}{}",
+            "{}{}{}{}{}",
             self.kernel_suffix(),
             Self::sched_suffix(self.sched),
             Self::map_suffix(self.map),
-            Self::pagemap_suffix(self.page_map)
+            Self::pagemap_suffix(self.page_map),
+            Self::freereloc_suffix()
         )
     }
 
@@ -882,7 +903,7 @@ impl Runner {
         let page_map = sc.page_map.unwrap_or(self.page_map);
         let arrival = sc.arrival.or(self.arrival);
         let key = format!(
-            "{}-scn-{}-{}-{}-ch{}-m{}-t{}{}{}{}{}{}",
+            "{}-scn-{}-{}-{}-ch{}-m{}-t{}{}{}{}{}{}{}",
             self.scale.label(),
             sc.name,
             sc.workload.cache_signature(),
@@ -894,7 +915,8 @@ impl Runner {
             Self::sched_suffix(sched),
             Self::map_suffix(map),
             Self::pagemap_suffix(page_map),
-            Self::arrival_suffix(arrival)
+            Self::arrival_suffix(arrival),
+            Self::freereloc_suffix()
         );
         let mut cfg = self
             .system_config(cores, sc.kind.clone())
@@ -1057,6 +1079,14 @@ fn config_key(kind: &ConfigKind) -> String {
 mod tests {
     use super::*;
     use figaro_workloads::profile_by_name;
+
+    #[test]
+    fn freereloc_ablation_gets_its_own_cache_keys() {
+        // Both arms of the env-derived suffix, without mutating the
+        // process environment (tests run in parallel).
+        assert_eq!(Runner::ablation_suffix_for(false), "");
+        assert_eq!(Runner::ablation_suffix_for(true), "-freereloc");
+    }
 
     #[test]
     fn summary_round_trips_through_text() {

@@ -23,9 +23,6 @@
 //! subarray distance (metal global bitlines) versus the linear growth of
 //! hop-based designs — FIGARO's key structural advantage.
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod circuit;
 pub mod montecarlo;
 

@@ -285,9 +285,9 @@ mod tests {
         // The paper's premise: within an opened row only a small fragment
         // is accessed. Verify: per page, the distinct blocks touched by hot
         // accesses stay within one hot-segment extent.
+        use std::collections::HashMap;
         let p = profile_by_name("mcf").unwrap();
         let t = generate_trace(&p, 50_000, 17);
-        use std::collections::HashMap;
         let mut per_page: HashMap<u64, std::collections::HashSet<u64>> = HashMap::new();
         for op in &t.ops {
             per_page.entry(op.addr / 8192).or_default().insert((op.addr % 8192) / 64);

@@ -31,9 +31,6 @@
 //! bank/channel coloring) applied to any [`TraceSource`] via
 //! [`PageMappedSource`].
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod apps;
 pub mod arrival;
 pub mod generator;

@@ -12,8 +12,6 @@
 //! `cargo test` (any `--test`-style flag in `argv`): they exit
 //! immediately so test runs stay fast.
 
-#![warn(missing_docs)]
-
 use std::time::{Duration, Instant};
 
 /// How per-iteration setup output is batched in `iter_batched`.

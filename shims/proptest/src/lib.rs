@@ -22,8 +22,6 @@
 //! with its case index (and the standard assert message); re-running
 //! reaches the identical case.
 
-#![warn(missing_docs)]
-
 pub mod strategy {
     //! The [`Strategy`] trait and combinators.
 

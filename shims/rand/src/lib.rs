@@ -9,8 +9,6 @@
 //! platform-independent (which the seeded experiments require), but a
 //! different stream from upstream `rand`'s ChaCha-based `StdRng`.
 
-#![warn(missing_docs)]
-
 /// A source of randomness, plus the distribution helpers the simulator
 /// uses. Matches the `rand` 0.8 call syntax for the methods provided.
 pub trait Rng {

@@ -10,8 +10,6 @@
 //! `RAYON_NUM_THREADS` environment variable when set (same knob as
 //! upstream rayon).
 
-#![warn(missing_docs)]
-
 use std::cell::UnsafeCell;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -435,12 +433,12 @@ mod tests {
     fn worker_pool_disjoint_mutation_by_index() {
         // The intended usage shape: each participant owns the slice
         // elements congruent to its index.
+        struct Cells(*mut u64, usize);
+        unsafe impl Sync for Cells {}
         let threads = 3;
         let pool = crate::WorkerPool::new(threads);
         let n = 64;
         let mut data = vec![0u64; n];
-        struct Cells(*mut u64, usize);
-        unsafe impl Sync for Cells {}
         let cells = Cells(data.as_mut_ptr(), n);
         let cells = &cells; // capture the Sync wrapper, not its raw fields
         for _ in 0..50 {
