@@ -234,6 +234,82 @@ impl FtsBank {
         (self.evict_row, self.evict_mask)
     }
 
+    /// Appends the tag store's state to a snapshot word stream: every
+    /// slot, the free list *in order* (allocation order matters for
+    /// bit-identity), and the eviction register/bitvector. The segment→slot
+    /// map is rebuilt from the slots on load.
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.slots.len() as u64);
+        for s in &self.slots {
+            match s.seg {
+                None => out.push(0),
+                Some(seg) => {
+                    out.push(1);
+                    out.push(u64::from(seg.row));
+                    out.push(u64::from(seg.index));
+                }
+            }
+            out.push(match s.state {
+                SlotState::Free => 0,
+                SlotState::Relocating { cancelled: false } => 1,
+                SlotState::Relocating { cancelled: true } => 2,
+                SlotState::Valid => 3,
+            });
+            out.push(u64::from(s.dirty));
+            out.push(u64::from(s.benefit));
+            out.push(s.last_use);
+        }
+        out.push(self.free.len() as u64);
+        for &i in &self.free {
+            out.push(u64::from(i));
+        }
+        match self.evict_row {
+            None => out.push(0),
+            Some(r) => {
+                out.push(1);
+                out.push(u64::from(r));
+            }
+        }
+        out.push(self.evict_mask);
+    }
+
+    /// Restores state saved by [`FtsBank::save_state`] into a tag store
+    /// of the same geometry, rebuilding the segment→slot map.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a truncated stream or a capacity mismatch.
+    pub fn load_state(&mut self, src: &mut &[u64]) {
+        let n = crate::take(src) as usize;
+        assert_eq!(n, self.slots.len(), "snapshot tag-store capacity mismatch");
+        self.map.clear();
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            s.seg = (crate::take(src) != 0).then(|| SegmentId {
+                row: crate::take(src) as u32,
+                index: crate::take(src) as u32,
+            });
+            s.state = match crate::take(src) {
+                0 => SlotState::Free,
+                1 => SlotState::Relocating { cancelled: false },
+                2 => SlotState::Relocating { cancelled: true },
+                _ => SlotState::Valid,
+            };
+            s.dirty = crate::take(src) != 0;
+            s.benefit = crate::take(src) as u8;
+            s.last_use = crate::take(src);
+            if let Some(seg) = s.seg {
+                self.map.insert(seg, i as u32);
+            }
+        }
+        let n_free = crate::take(src) as usize;
+        self.free.clear();
+        for _ in 0..n_free {
+            self.free.push(crate::take(src) as u32);
+        }
+        self.evict_row = (crate::take(src) != 0).then(|| crate::take(src) as u32);
+        self.evict_mask = crate::take(src);
+    }
+
     fn select_victim<R: Rng>(&mut self, policy: ReplacementPolicy, rng: &mut R) -> Option<u32> {
         match policy {
             ReplacementPolicy::RowBenefit => self.select_row_benefit(),

@@ -251,6 +251,70 @@ impl CacheEngine for LisaVillaEngine {
     fn stats(&self) -> CacheStats {
         self.stats
     }
+
+    fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.banks.len() as u64);
+        for bank in &self.banks {
+            bank.tags.save_state(out);
+            out.push(bank.pending.len() as u64);
+            for job in &bank.pending {
+                job.save_state(out);
+            }
+            let mut ids: Vec<u64> = bank.in_flight.keys().copied().collect();
+            ids.sort_unstable();
+            out.push(ids.len() as u64);
+            for id in ids {
+                out.push(id);
+                match bank.in_flight[&id] {
+                    None => out.push(0),
+                    Some(s) => {
+                        out.push(1);
+                        out.push(u64::from(s));
+                    }
+                }
+            }
+            let mut rows: Vec<RowId> = bank.miss_counts.keys().copied().collect();
+            rows.sort_unstable();
+            out.push(rows.len() as u64);
+            for row in rows {
+                out.push(u64::from(row));
+                out.push(u64::from(bank.miss_counts[&row]));
+            }
+        }
+        out.extend_from_slice(&self.rng.state());
+        self.stats.save_state(out);
+        out.push(self.next_job_id);
+    }
+
+    fn load_state(&mut self, src: &mut &[u64]) {
+        let n = crate::take(src) as usize;
+        assert_eq!(n, self.banks.len(), "snapshot engine bank-count mismatch");
+        for bank in &mut self.banks {
+            bank.tags.load_state(src);
+            let n_pending = crate::take(src) as usize;
+            bank.pending.clear();
+            for _ in 0..n_pending {
+                bank.pending.push_back(RelocationJob::load_state(src));
+            }
+            let n_flight = crate::take(src) as usize;
+            bank.in_flight.clear();
+            for _ in 0..n_flight {
+                let id = crate::take(src);
+                let slot = (crate::take(src) != 0).then(|| crate::take(src) as u32);
+                bank.in_flight.insert(id, slot);
+            }
+            let n_miss = crate::take(src) as usize;
+            bank.miss_counts.clear();
+            for _ in 0..n_miss {
+                let row = crate::take(src) as u32;
+                bank.miss_counts.insert(row, crate::take(src) as u32);
+            }
+        }
+        let rng_state = [crate::take(src), crate::take(src), crate::take(src), crate::take(src)];
+        self.rng = StdRng::from_state(rng_state);
+        self.stats.load_state(src);
+        self.next_job_id = crate::take(src);
+    }
 }
 
 #[cfg(test)]

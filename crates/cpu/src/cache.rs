@@ -196,6 +196,48 @@ impl SetAssocCache {
         }
         writeback
     }
+
+    /// Appends line/clock/stat state to a snapshot word stream (geometry
+    /// is reconstructed from `params`, so only dynamic state crosses).
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.clock);
+        out.push(self.lines.len() as u64);
+        for line in &self.lines {
+            out.push(line.tag);
+            out.push(u64::from(line.valid) | u64::from(line.dirty) << 1);
+            out.push(line.lru);
+        }
+        out.push(self.stats.accesses);
+        out.push(self.stats.hits);
+        out.push(self.stats.misses);
+        out.push(self.stats.evictions);
+        out.push(self.stats.dirty_evictions);
+    }
+
+    /// Restores state saved by [`SetAssocCache::save_state`] into a cache
+    /// built with the same parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a truncated stream or a line-count mismatch (a snapshot
+    /// from a different geometry).
+    pub fn load_state(&mut self, src: &mut &[u64]) {
+        self.clock = crate::take(src);
+        let n = crate::take(src) as usize;
+        assert_eq!(n, self.lines.len(), "snapshot cache geometry mismatch");
+        for line in &mut self.lines {
+            line.tag = crate::take(src);
+            let flags = crate::take(src);
+            line.valid = flags & 1 != 0;
+            line.dirty = flags & 2 != 0;
+            line.lru = crate::take(src);
+        }
+        self.stats.accesses = crate::take(src);
+        self.stats.hits = crate::take(src);
+        self.stats.misses = crate::take(src);
+        self.stats.evictions = crate::take(src);
+        self.stats.dirty_evictions = crate::take(src);
+    }
 }
 
 #[cfg(test)]

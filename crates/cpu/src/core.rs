@@ -79,6 +79,11 @@ pub struct TraceCore {
     target_insts: u64,
     finished_at: Option<u64>,
     stats: CoreStats,
+    /// Operations pulled from `source` so far. Snapshots record this so a
+    /// restore can fast-forward a freshly constructed (deterministic)
+    /// source to the same position instead of serializing source
+    /// internals.
+    ops_pulled: u64,
 }
 
 /// Sentinel ready-at for loads still in flight.
@@ -126,6 +131,7 @@ impl TraceCore {
             target_insts,
             finished_at: None,
             stats: CoreStats::default(),
+            ops_pulled: 0,
         }
     }
 
@@ -173,7 +179,154 @@ impl TraceCore {
     }
 
     fn next_op(&mut self) -> TraceOp {
+        self.ops_pulled += 1;
         self.source.next_op()
+    }
+
+    /// Operations pulled from the trace source so far (diagnostics and
+    /// snapshot headers).
+    #[must_use]
+    pub fn ops_pulled(&self) -> u64 {
+        self.ops_pulled
+    }
+
+    /// Current instruction-window occupancy (diagnostics).
+    #[must_use]
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Appends the core's live state to a snapshot word stream. The
+    /// construction parameters (`params`, `id`, `target_insts`, the trace
+    /// source) are *not* included: a restore rebuilds the core from the
+    /// same run description and replays the source to `ops_pulled`.
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.ops_pulled);
+        out.push(u64::from(self.nonmem_left));
+        match self.pending_mem {
+            None => out.push(0),
+            Some(op) => {
+                out.push(1);
+                out.push(u64::from(op.nonmem));
+                out.push(op.addr);
+                out.push(u64::from(op.is_write));
+            }
+        }
+        out.push(u64::from(self.stalled));
+        out.push(self.window.len() as u64);
+        for &ready in &self.window {
+            out.push(ready);
+        }
+        out.push(self.head_seq);
+        out.push(self.tail_seq);
+        out.push(self.token_seq.len() as u64);
+        for &(token, seq) in &self.token_seq {
+            out.push(token);
+            out.push(seq);
+        }
+        match self.finished_at {
+            None => out.push(0),
+            Some(at) => {
+                out.push(1);
+                out.push(at);
+            }
+        }
+        out.push(self.stats.retired);
+        out.push(self.stats.mem_ops);
+        out.push(self.stats.long_loads);
+        out.push(self.stats.window_full_cycles);
+        out.push(self.stats.stall_cycles);
+    }
+
+    /// Restores state saved by [`TraceCore::save_state`] into a freshly
+    /// constructed core, fast-forwarding the (deterministic) trace source
+    /// by the recorded pull count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a truncated word stream.
+    pub fn load_state(&mut self, src: &mut &[u64]) {
+        let pulled = crate::take(src);
+        for _ in self.ops_pulled..pulled {
+            let _ = self.source.next_op();
+        }
+        self.ops_pulled = pulled;
+        self.nonmem_left = crate::take(src) as u32;
+        self.pending_mem = if crate::take(src) == 1 {
+            let nonmem = crate::take(src) as u32;
+            let addr = crate::take(src);
+            let is_write = crate::take(src) != 0;
+            Some(TraceOp { nonmem, addr, is_write })
+        } else {
+            None
+        };
+        self.stalled = crate::take(src) != 0;
+        let window_len = crate::take(src) as usize;
+        self.window.clear();
+        for _ in 0..window_len {
+            self.window.push_back(crate::take(src));
+        }
+        self.head_seq = crate::take(src);
+        self.tail_seq = crate::take(src);
+        let tokens = crate::take(src) as usize;
+        self.token_seq.clear();
+        for _ in 0..tokens {
+            let token = crate::take(src);
+            let seq = crate::take(src);
+            self.token_seq.push((token, seq));
+        }
+        self.finished_at = if crate::take(src) == 1 { Some(crate::take(src)) } else { None };
+        self.stats.retired = crate::take(src);
+        self.stats.mem_ops = crate::take(src);
+        self.stats.long_loads = crate::take(src);
+        self.stats.window_full_cycles = crate::take(src);
+        self.stats.stall_cycles = crate::take(src);
+    }
+
+    /// Functionally consumes up to `insts` instructions without modeling
+    /// timing or issuing memory traffic — the fast-forward half of the
+    /// sampled kernel. In-flight window entries retire first (their loads
+    /// complete "during" the jump; any wake arriving later is ignored by
+    /// [`TraceCore::wake`]'s `seq >= head_seq` guard), then fresh
+    /// operations are pulled from the trace source so the resume point
+    /// stays aligned with the stream. Returns the instructions consumed;
+    /// the core finishes at `now` if it reaches its target.
+    pub fn fast_forward(&mut self, insts: u64, now: u64) -> u64 {
+        if self.finished_at.is_some() {
+            return 0;
+        }
+        let budget = insts.min(self.target_insts - self.stats.retired);
+        let mut done = 0u64;
+        while done < budget && !self.window.is_empty() {
+            self.window.pop_front();
+            self.head_seq += 1;
+            done += 1;
+        }
+        while done < budget {
+            if self.nonmem_left > 0 {
+                let k = u64::from(self.nonmem_left).min(budget - done);
+                self.nonmem_left -= k as u32;
+                done += k;
+            } else if self.pending_mem.take().is_some() {
+                self.stalled = false;
+                self.stats.mem_ops += 1;
+                done += 1;
+            } else {
+                let op = self.next_op();
+                if op.nonmem > 0 {
+                    self.nonmem_left = op.nonmem;
+                    self.pending_mem = Some(op);
+                } else {
+                    self.stats.mem_ops += 1;
+                    done += 1;
+                }
+            }
+        }
+        self.stats.retired += done;
+        if self.stats.retired >= self.target_insts {
+            self.finished_at = Some(now);
+        }
+        done
     }
 
     /// Cycles after `now` over which ticking is a deterministic full-width

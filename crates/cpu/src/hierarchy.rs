@@ -304,6 +304,105 @@ impl CacheHierarchy {
         self.mshrs[core].len()
     }
 
+    /// Appends the hierarchy's live state (cache lines, MSHRs, in-flight
+    /// request map, outbox, counters) to a snapshot word stream. Hash maps
+    /// are walked in sorted-key order so the byte stream is deterministic.
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        for c in &self.l1 {
+            c.save_state(out);
+        }
+        for c in &self.l2 {
+            c.save_state(out);
+        }
+        self.llc.save_state(out);
+        for per_core in &self.mshrs {
+            let mut blocks: Vec<u64> = per_core.keys().copied().collect();
+            blocks.sort_unstable();
+            out.push(blocks.len() as u64);
+            for block in blocks {
+                let entry = &per_core[&block];
+                out.push(block);
+                out.push(u64::from(entry.store));
+                out.push(entry.waiters.len() as u64);
+                out.extend_from_slice(&entry.waiters);
+            }
+        }
+        let mut ids: Vec<u64> = self.req_map.keys().copied().collect();
+        ids.sort_unstable();
+        out.push(ids.len() as u64);
+        for id in ids {
+            let (core, block) = self.req_map[&id];
+            out.push(id);
+            out.push(core as u64);
+            out.push(block);
+        }
+        out.push(self.outbox.len() as u64);
+        for r in &self.outbox {
+            out.push(r.id);
+            out.push(r.addr.0);
+            out.push(u64::from(r.is_write));
+            out.push(u64::from(r.core));
+            out.push(r.arrival);
+        }
+        out.push(self.next_req_id);
+        out.push(self.next_token);
+        out.push(self.llc_misses_per_core.len() as u64);
+        out.extend_from_slice(&self.llc_misses_per_core);
+        out.push(self.mshr_merges);
+        out.push(self.mshr_stalls);
+    }
+
+    /// Restores state saved by [`CacheHierarchy::save_state`] into a
+    /// hierarchy built with the same configuration and core count.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a truncated stream or geometry mismatch.
+    pub fn load_state(&mut self, src: &mut &[u64]) {
+        for c in &mut self.l1 {
+            c.load_state(src);
+        }
+        for c in &mut self.l2 {
+            c.load_state(src);
+        }
+        self.llc.load_state(src);
+        for per_core in &mut self.mshrs {
+            per_core.clear();
+            let n = crate::take(src) as usize;
+            for _ in 0..n {
+                let block = crate::take(src);
+                let store = crate::take(src) != 0;
+                let waiters = (0..crate::take(src)).map(|_| crate::take(src)).collect();
+                per_core.insert(block, MshrEntry { waiters, store });
+            }
+        }
+        self.req_map.clear();
+        for _ in 0..crate::take(src) {
+            let id = crate::take(src);
+            let core = crate::take(src) as usize;
+            let block = crate::take(src);
+            self.req_map.insert(id, (core, block));
+        }
+        self.outbox.clear();
+        for _ in 0..crate::take(src) {
+            let id = crate::take(src);
+            let addr = PhysAddr(crate::take(src));
+            let is_write = crate::take(src) != 0;
+            let core = crate::take(src) as u8;
+            let arrival = crate::take(src);
+            self.outbox.push_back(Request { id, addr, is_write, core, arrival });
+        }
+        self.next_req_id = crate::take(src);
+        self.next_token = crate::take(src);
+        let cores = crate::take(src) as usize;
+        assert_eq!(cores, self.llc_misses_per_core.len(), "snapshot core-count mismatch");
+        for v in &mut self.llc_misses_per_core {
+            *v = crate::take(src);
+        }
+        self.mshr_merges = crate::take(src);
+        self.mshr_stalls = crate::take(src);
+    }
+
     /// Snapshot of all counters.
     #[must_use]
     pub fn stats(&self) -> HierarchyStats {

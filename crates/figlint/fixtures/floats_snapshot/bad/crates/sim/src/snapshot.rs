@@ -1,0 +1,19 @@
+pub struct EnergyState {
+    pub dram_nj: f64,
+    pub events: u64,
+}
+
+impl EnergyState {
+    // The FGSN bug shape: a float crosses the snapshot as formatted
+    // text, so a save/restore round trip can differ in the last ulp and
+    // resumed runs stop being bit-identical.
+    pub fn save_state(&self, out: &mut Vec<String>) {
+        out.push(format!("dram_nj {}", self.dram_nj));
+        out.push(format!("events {}", self.events));
+    }
+
+    // Human-facing report: out of scope by design.
+    pub fn report(&self) -> String {
+        format!("dram energy {:.1} nJ", self.dram_nj)
+    }
+}

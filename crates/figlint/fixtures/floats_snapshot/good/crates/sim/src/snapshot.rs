@@ -1,0 +1,24 @@
+pub struct EnergyState {
+    pub dram_nj: f64,
+    pub events: u64,
+}
+
+impl EnergyState {
+    // The FGSN convention: floats cross the word stream as IEEE-754 bit
+    // patterns, so the round trip is lossless by construction.
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.dram_nj.to_bits());
+        out.push(self.events);
+    }
+
+    pub fn load_state(&mut self, src: &mut &[u64]) {
+        self.dram_nj = f64::from_bits(src[0]);
+        self.events = src[1];
+        *src = &src[2..];
+    }
+
+    // Human-facing report: out of scope by design.
+    pub fn report(&self) -> String {
+        format!("dram energy {:.1} nJ", self.dram_nj)
+    }
+}

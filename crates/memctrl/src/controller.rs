@@ -437,6 +437,106 @@ impl MemoryController {
         self.write_q.len()
     }
 
+    /// Appends the controller's full live state to a snapshot word
+    /// stream: drain/refresh flags, per-bank relocation jobs, pending
+    /// completions, stats, both queues (exact slab images), the DRAM
+    /// channel timing state, the cache engine and the scheduling policy.
+    /// Derived members (mapping, watermarks, scratch, the horizon memo)
+    /// are reconstructed on load.
+    ///
+    /// # Panics
+    ///
+    /// Panics when RowHammer monitoring is enabled — monitoring is a
+    /// side-channel analysis that no cached/warm-start path enables, and
+    /// its activation history is deliberately outside the snapshot format.
+    pub fn save_state(&self, out: &mut Vec<u64>) {
+        assert!(self.monitor.is_none(), "snapshots do not cover RowHammer monitoring");
+        out.push(u64::from(self.drain_writes));
+        out.push(self.next_refresh);
+        out.push(u64::from(self.refresh_pending));
+        out.push(self.banks.len() as u64);
+        for bank in &self.banks {
+            match &bank.job {
+                None => out.push(0),
+                Some(job) => {
+                    out.push(1);
+                    job.save_state(out);
+                }
+            }
+        }
+        out.push(self.completions.len() as u64);
+        for c in &self.completions {
+            out.push(c.id);
+            out.push(c.done_at);
+            out.push(c.addr.0);
+            out.push(u64::from(c.core));
+        }
+        out.push(self.stats.row_hits);
+        out.push(self.stats.row_misses);
+        out.push(self.stats.row_conflicts);
+        out.push(self.stats.reads_served);
+        out.push(self.stats.writes_served);
+        out.push(self.stats.forwarded);
+        out.push(self.stats.read_latency_sum);
+        out.push(self.stats.enq_reads);
+        out.push(self.stats.enq_writes);
+        self.stats.read_latency_hist.save_state(out);
+        self.read_q.save_state(out);
+        self.write_q.save_state(out);
+        self.channel.save_state(out);
+        self.engine.save_state(out);
+        self.policy.save_state(out);
+    }
+
+    /// Restores state saved by [`MemoryController::save_state`] into a
+    /// controller built with the same configuration. The horizon memo is
+    /// dropped (recomputed lazily on the next event query).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a truncated stream or a geometry mismatch.
+    pub fn load_state(&mut self, src: &mut &[u64]) {
+        assert!(self.monitor.is_none(), "snapshots do not cover RowHammer monitoring");
+        self.drain_writes = crate::take(src) != 0;
+        self.next_refresh = crate::take(src);
+        self.refresh_pending = crate::take(src) != 0;
+        let banks = crate::take(src) as usize;
+        assert_eq!(banks, self.banks.len(), "snapshot controller bank-count mismatch");
+        for bank in &mut self.banks {
+            bank.job = if crate::take(src) == 0 {
+                None
+            } else {
+                Some(figaro_core::RelocationJob::load_state(src))
+            };
+        }
+        let n = crate::take(src) as usize;
+        self.completions.clear();
+        for _ in 0..n {
+            self.completions.push(Completion {
+                id: crate::take(src),
+                done_at: crate::take(src),
+                addr: figaro_dram::PhysAddr(crate::take(src)),
+                core: crate::take(src) as u8,
+            });
+        }
+        self.stats.row_hits = crate::take(src);
+        self.stats.row_misses = crate::take(src);
+        self.stats.row_conflicts = crate::take(src);
+        self.stats.reads_served = crate::take(src);
+        self.stats.writes_served = crate::take(src);
+        self.stats.forwarded = crate::take(src);
+        self.stats.read_latency_sum = crate::take(src);
+        self.stats.enq_reads = crate::take(src);
+        self.stats.enq_writes = crate::take(src);
+        self.stats.read_latency_hist.load_state(src);
+        self.read_q.load_state(src);
+        self.write_q.load_state(src);
+        self.channel.load_state(src);
+        self.engine.load_state(src);
+        self.policy.load_state(src);
+        self.horizon = None;
+    }
+
     fn issue(&mut self, bank: BankAddr, cmd: &DramCommand, now: Cycle) -> Cycle {
         let flat = bank.flat_bank(self.mapping.geometry());
         if let Some(m) = &mut self.monitor {

@@ -1,32 +1,45 @@
 //! Diagnostic runner: `diag <app> <config> [scale]` prints the full
 //! statistics of one single-core run — the tool for understanding *why*
-//! a configuration behaves the way it does.
+//! a configuration behaves the way it does — and
+//! `diag snapshot <file.fgsn>` inspects a warm-state snapshot without
+//! restoring it.
 //!
 //! Bad arguments print usage and exit nonzero (no panics): the binary is
 //! meant to sit in shell loops. The memory-controller scheduling policy
 //! follows `FIGARO_SCHED` like every other run.
 
 use figaro_sim::runner::Scale;
-use figaro_sim::{ConfigKind, System, SystemConfig};
+use figaro_sim::{snapshot, ConfigKind, System, SystemConfig};
 use figaro_workloads::{profile_by_name, ArrivalKind, ArrivalSchedule, TraceSource};
 
 fn usage() -> ! {
     eprintln!(
         "usage: diag [<app> [<config> [<scale>]]]\n\
+         \x20      diag snapshot <file.fgsn>\n\
          \n\
          app     a workload profile name (default: mcf)\n\
          config  base | lisa | slow | fast | ideal | ll (default: fast)\n\
          scale   tiny | small | full (default: small)\n\
          \n\
+         `diag snapshot` prints an FGSN warm-state snapshot's header:\n\
+         format version, config hash, CPU cycle, per-core progress and\n\
+         per-channel queue occupancy.\n\
+         \n\
          env (result-affecting):\n\
          FIGARO_SCHED=frfcfs|fcfs|frfcfs-cap<N>|wdrain<H>-<L> picks the\n\
          memory-controller scheduling policy,\n\
-         FIGARO_KERNEL=event|reference|parallel the simulation kernel,\n\
+         FIGARO_KERNEL=event|reference|parallel|sampled[:W,S] the\n\
+         simulation kernel (sampled alternates W detailed cycles with S\n\
+         fast-forwarded cycles — approximate, its results key separately),\n\
          FIGARO_MAP=paper|chfirst|rowint[-xor] the DRAM address mapping,\n\
          FIGARO_PAGEMAP=ident|rand<seed>|color<N> the OS page-frame\n\
          placement,\n\
          FIGARO_LOAD=fixed:G|poisson:G|bursty:ON,OPS,IDLE replaces the\n\
          app's own issue gaps with an open-loop arrival process,\n\
+         FIGARO_WARMUP=<N> warm-starts scenario runs: the first N CPU\n\
+         cycles are simulated once, snapshotted, and every run sharing\n\
+         the warm prefix resumes from the snapshot (bit-identical to an\n\
+         uninterrupted run; warmed results key separately),\n\
          FIGARO_SCALE=tiny|small|full the per-core instruction target in\n\
          the sweep binaries,\n\
          FIGARO_FREE_RELOC=1 zero-cost relocation ablation (debug only;\n\
@@ -35,6 +48,9 @@ fn usage() -> ! {
          env (never affects results):\n\
          FIGARO_THREADS=<N> the parallel kernel's worker-thread count\n\
          (default: available parallelism, clamped to the channel count),\n\
+         FIGARO_SNAPSHOT_DIR=<dir> where FGSN warm-state snapshots live\n\
+         (default: <cache_dir>/snapshots; resumption is bit-identical, so\n\
+         the location never changes results),\n\
          FIGARO_FULL_SWEEPS=1 runs Figs. 12-15 over all 20 profiles,\n\
          FIGARO_SLOW_TESTS=1 enables the ignored full-scale tests,\n\
          FIGARO_LONG_OPS=<N> ops per core in the long streaming test,\n\
@@ -44,8 +60,42 @@ fn usage() -> ! {
     std::process::exit(2)
 }
 
+/// `diag snapshot <file>`: print the FGSN header without restoring.
+fn snapshot_info(path: &str) -> ! {
+    let h = match snapshot::read_header_from(std::path::Path::new(path)) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("diag snapshot: cannot read `{path}`: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("file              : {path}");
+    println!("format            : FGSN v{}", h.version);
+    println!("config hash       : {:016x}", h.config_hash);
+    println!("cpu cycle         : {}", h.cpu_cycle);
+    println!("payload words     : {}", h.payload_words);
+    println!("cores             : {}", h.cores.len());
+    for (i, c) in h.cores.iter().enumerate() {
+        println!("  core {i:<2}         : ops_pulled {} window {}", c.ops_pulled, c.window_len);
+    }
+    println!("channels          : {}", h.shards.len());
+    for (i, s) in h.shards.iter().enumerate() {
+        println!(
+            "  channel {i:<2}      : rq {} wq {} backlog {}",
+            s.read_queue, s.write_queue, s.backlog
+        );
+    }
+    std::process::exit(0)
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.get(1).is_some_and(|a| a == "snapshot") {
+        match args.get(2) {
+            Some(path) if args.len() == 3 => snapshot_info(path),
+            _ => usage(),
+        }
+    }
     if args.len() > 4 || args.iter().skip(1).any(|a| a == "-h" || a == "--help") {
         usage();
     }

@@ -29,13 +29,34 @@ pub enum Kernel {
     /// bus-boundary epochs (see `crate::parallel`). Worker count comes
     /// from [`SystemConfig::threads`] / `FIGARO_THREADS`.
     Parallel,
+    /// SMARTS-style sampled simulation: alternate detailed windows of
+    /// `window` CPU cycles (the event kernel, bit-exact) with functional
+    /// fast-forward intervals of `skip` CPU cycles whose instructions are
+    /// consumed from the trace at the rate the last detailed window
+    /// sustained, issuing **no** memory traffic. The only *approximate*
+    /// kernel: its `RunStats` carry a `sampled` block and its results get
+    /// their own cache keys — they must never stand in for a full run.
+    Sampled {
+        /// Detailed-window length (CPU cycles).
+        window: u64,
+        /// Fast-forwarded interval between windows (CPU cycles).
+        skip: u64,
+    },
 }
+
+/// Default detailed-window length for `FIGARO_KERNEL=sampled` (CPU
+/// cycles).
+pub const SAMPLED_DEFAULT_WINDOW: u64 = 100_000;
+/// Default fast-forward interval for `FIGARO_KERNEL=sampled` (CPU
+/// cycles): a 1:4 duty cycle, so ~20% of the run is simulated in detail.
+pub const SAMPLED_DEFAULT_SKIP: u64 = 400_000;
 
 impl Kernel {
     /// Reads `FIGARO_KERNEL` (`event` | `reference`/`ref` |
-    /// `parallel`/`par`), defaulting to [`Kernel::Event`] when unset.
-    /// The variable is read once per process ([`SystemConfig::paper`]
-    /// sits on system-construction paths).
+    /// `parallel`/`par` | `sampled[:window,skip]`), defaulting to
+    /// [`Kernel::Event`] when unset. The variable is read once per
+    /// process ([`SystemConfig::paper`] sits on system-construction
+    /// paths).
     ///
     /// # Panics
     ///
@@ -47,18 +68,35 @@ impl Kernel {
         static KERNEL: std::sync::OnceLock<Kernel> = std::sync::OnceLock::new();
         *KERNEL.get_or_init(|| {
             let raw = std::env::var("FIGARO_KERNEL").unwrap_or_default();
-            match raw.to_lowercase().as_str() {
-                "" | "event" => Kernel::Event,
-                "reference" | "ref" => Kernel::Reference,
-                "parallel" | "par" => Kernel::Parallel,
-                other => {
-                    panic!(
-                        "unrecognized FIGARO_KERNEL `{other}` \
-                         (use `event`, `reference` or `parallel`)"
-                    )
-                }
-            }
+            Self::parse(&raw).unwrap_or_else(|| {
+                panic!(
+                    "unrecognized FIGARO_KERNEL `{raw}` (use `event`, `reference`, \
+                     `parallel` or `sampled[:window,skip]`)"
+                )
+            })
         })
+    }
+
+    /// Parses a kernel name (the `FIGARO_KERNEL` vocabulary); `None` for
+    /// anything unrecognized.
+    #[must_use]
+    pub fn parse(raw: &str) -> Option<Self> {
+        let lower = raw.to_lowercase();
+        if let Some(params) = lower.strip_prefix("sampled:") {
+            let (w, s) = params.split_once(',')?;
+            let window = w.parse::<u64>().ok().filter(|&w| w > 0)?;
+            let skip = s.parse::<u64>().ok()?;
+            return Some(Kernel::Sampled { window, skip });
+        }
+        match lower.as_str() {
+            "" | "event" => Some(Kernel::Event),
+            "reference" | "ref" => Some(Kernel::Reference),
+            "parallel" | "par" => Some(Kernel::Parallel),
+            "sampled" => {
+                Some(Kernel::Sampled { window: SAMPLED_DEFAULT_WINDOW, skip: SAMPLED_DEFAULT_SKIP })
+            }
+            _ => None,
+        }
     }
 
     /// Label for reports.
@@ -68,6 +106,7 @@ impl Kernel {
             Kernel::Reference => "reference",
             Kernel::Event => "event",
             Kernel::Parallel => "parallel",
+            Kernel::Sampled { .. } => "sampled",
         }
     }
 }
@@ -366,6 +405,24 @@ mod tests {
         assert_eq!(Kernel::Event.label(), "event");
         assert_eq!(Kernel::Reference.label(), "reference");
         assert_eq!(Kernel::Parallel.label(), "parallel");
+        assert_eq!(Kernel::Sampled { window: 1, skip: 1 }.label(), "sampled");
+    }
+
+    #[test]
+    fn kernel_parse_covers_sampled_forms() {
+        assert_eq!(Kernel::parse(""), Some(Kernel::Event));
+        assert_eq!(Kernel::parse("REF"), Some(Kernel::Reference));
+        assert_eq!(
+            Kernel::parse("sampled"),
+            Some(Kernel::Sampled { window: SAMPLED_DEFAULT_WINDOW, skip: SAMPLED_DEFAULT_SKIP })
+        );
+        assert_eq!(
+            Kernel::parse("sampled:50000,200000"),
+            Some(Kernel::Sampled { window: 50_000, skip: 200_000 })
+        );
+        assert_eq!(Kernel::parse("sampled:0,5"), None, "zero-cycle windows are meaningless");
+        assert_eq!(Kernel::parse("sampled:oops"), None);
+        assert_eq!(Kernel::parse("spooled"), None);
     }
 
     #[test]

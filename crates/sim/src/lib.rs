@@ -36,18 +36,31 @@
 //! assert!(fig.ipc[0] > 0.0 && base.ipc[0] > 0.0);
 //! ```
 
+/// Pops the next word of a snapshot word stream (the `save_state` /
+/// `load_state` convention shared across the component crates).
+/// Truncation aborts loudly: resuming from a corrupt snapshot must never
+/// silently produce a different run.
+pub(crate) fn take(src: &mut &[u64]) -> u64 {
+    assert!(!src.is_empty(), "snapshot word stream truncated");
+    let w = src[0];
+    *src = &src[1..];
+    w
+}
+
 pub mod config;
 pub mod experiments;
 pub mod metrics;
 pub(crate) mod parallel;
 pub mod report;
 pub mod runner;
+pub mod snapshot;
 pub mod system;
 
 pub use config::{ConfigKind, Kernel, SystemConfig};
 pub use figaro_dram::{MapKind, MapScheme};
 pub use figaro_memctrl::SchedPolicyKind;
 pub use figaro_workloads::PageMapKind;
-pub use metrics::RunStats;
+pub use metrics::{RunStats, SampledStats};
 pub use runner::{Runner, Scale, Scenario, ScenarioWorkload};
+pub use snapshot::{config_hash, SnapshotHeader};
 pub use system::System;

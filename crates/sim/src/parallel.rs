@@ -201,6 +201,62 @@ impl ChannelShard {
         self.frontier = target + 1;
         self.cached_bound = self.completion_bound(self.frontier);
     }
+
+    /// Appends the shard's live state — the controller plus the parked
+    /// backlog — to a snapshot word stream. The epoch mailboxes are not
+    /// serialized: snapshots are taken between runs, where the catch-up
+    /// epoch has already drained them (asserted).
+    pub(crate) fn save_state(&self, out: &mut Vec<u64>) {
+        assert!(
+            self.inbox.is_empty() && self.outbox.is_empty(),
+            "snapshots are taken between runs, where epoch mailboxes are quiescent"
+        );
+        self.mc.save_state(out);
+        out.push(self.backlog.len() as u64);
+        for req in &self.backlog {
+            out.push(req.id);
+            out.push(req.addr.0);
+            out.push(u64::from(req.is_write));
+            out.push(u64::from(req.core));
+            out.push(req.arrival);
+        }
+    }
+
+    /// Restores state saved by [`ChannelShard::save_state`]. `frontier` is
+    /// the first bus cycle the resumed run has not yet processed (derived
+    /// from the snapshot's CPU cycle); the lookahead cache is recomputed
+    /// from the restored controller, exactly as the catch-up epoch leaves
+    /// it. Returns the restored backlog length (the router's global
+    /// bookkeeping).
+    pub(crate) fn load_state(&mut self, src: &mut &[u64], frontier: u64) -> usize {
+        self.mc.load_state(src);
+        let n = crate::take(src) as usize;
+        self.backlog.clear();
+        self.backlog_reads = 0;
+        for _ in 0..n {
+            let id = crate::take(src);
+            let addr = figaro_dram::PhysAddr(crate::take(src));
+            let is_write = crate::take(src) != 0;
+            let core = crate::take(src) as u8;
+            let arrival = crate::take(src);
+            self.push_backlog(Request { id, addr, is_write, core, arrival });
+        }
+        self.inbox.clear();
+        self.outbox.clear();
+        self.frontier = frontier;
+        self.cached_bound = self.completion_bound(frontier);
+        n
+    }
+
+    /// (queued reads, queued writes, backlogged requests) — the `diag
+    /// snapshot` occupancy summary.
+    pub(crate) fn occupancy(&self) -> (u64, u64, u64) {
+        (
+            self.mc.read_queue_len() as u64,
+            self.mc.write_queue_len() as u64,
+            self.backlog.len() as u64,
+        )
+    }
 }
 
 /// Below this catch-up window (bus cycles), the epoch runs inline on the

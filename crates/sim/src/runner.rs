@@ -274,6 +274,20 @@ pub fn idle_companion_trace() -> Trace {
     }
 }
 
+/// Reads `FIGARO_WARMUP` (warm-start CPU cycles; unset, empty or `0`
+/// disables warm-start). Malformed values abort loudly — a typo that
+/// silently ran cold would skew every number in a warm sweep.
+fn warmup_from_env() -> Option<u64> {
+    match std::env::var("FIGARO_WARMUP") {
+        Ok(raw) if !raw.is_empty() => {
+            let parsed = raw.parse::<u64>();
+            assert!(parsed.is_ok(), "FIGARO_WARMUP must be a CPU-cycle count, got `{raw}`");
+            parsed.ok().filter(|&w| w > 0)
+        }
+        _ => None,
+    }
+}
+
 /// Deterministic per-run trace seed.
 fn seed_for(app: &str, core: usize) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
@@ -425,6 +439,14 @@ pub struct Scenario {
     /// [`figaro_workloads::ArrivalSchedule`], making offered load the
     /// swept axis instead of the workload's own issue rate.
     pub arrival: Option<ArrivalKind>,
+    /// Warm-start override (default: the runner's warmup, itself off
+    /// unless `FIGARO_WARMUP` says otherwise): run the first N CPU
+    /// cycles once, snapshot the warmed state (FGSN, see
+    /// [`crate::snapshot`]), and let every later run of the same warm
+    /// prefix resume from the snapshot instead of re-simulating it.
+    /// Resumed runs are bit-identical to uninterrupted ones, but warmed
+    /// results still get their own `-warm-<N>` cache keys.
+    pub warmup_cycles: Option<u64>,
 }
 
 impl Scenario {
@@ -442,6 +464,7 @@ impl Scenario {
             map: None,
             page_map: None,
             arrival: None,
+            warmup_cycles: None,
         }
     }
 
@@ -495,6 +518,15 @@ impl Scenario {
         self
     }
 
+    /// Warm-starts this scenario: the first `cycles` CPU cycles are
+    /// simulated once and snapshotted; later runs sharing the warm
+    /// prefix resume from the snapshot.
+    #[must_use]
+    pub fn with_warmup(mut self, cycles: u64) -> Self {
+        self.warmup_cycles = Some(cycles);
+        self
+    }
+
     /// A long-run streaming scenario: `ops_per_core` memory operations
     /// per core, converted to an instruction target via each core's mean
     /// non-memory-per-memory ratio. The **maximum** across cores is used
@@ -529,7 +561,14 @@ pub struct Runner {
     /// paths (`run_single`/`run_mix`/...) never pace — their results
     /// model the applications' own issue rates.
     arrival: Option<ArrivalKind>,
+    /// Warm-start applied to **scenario** runs (see
+    /// [`Scenario::warmup_cycles`]); `None` runs everything cold.
+    warmup: Option<u64>,
     cache_dir: Option<PathBuf>,
+    /// Where FGSN warm-state snapshots live (`FIGARO_SNAPSHOT_DIR`,
+    /// default `<cache_dir>/snapshots`); `None` disables snapshot
+    /// persistence (warmup still runs, once per process call).
+    snapshot_dir: Option<PathBuf>,
 }
 
 impl Runner {
@@ -564,6 +603,10 @@ impl Runner {
     }
 
     fn build(scale: Scale, cache_dir: Option<PathBuf>) -> Self {
+        let snapshot_dir = match std::env::var("FIGARO_SNAPSHOT_DIR") {
+            Ok(dir) if !dir.is_empty() => Some(PathBuf::from(dir)),
+            _ => cache_dir.as_ref().map(|d| d.join("snapshots")),
+        };
         Self {
             scale,
             kernel: Kernel::from_env(),
@@ -571,7 +614,9 @@ impl Runner {
             map: MapKind::from_env(),
             page_map: PageMapKind::from_env(),
             arrival: ArrivalKind::from_env(),
+            warmup: warmup_from_env(),
             cache_dir,
+            snapshot_dir,
         }
     }
 
@@ -624,18 +669,52 @@ impl Runner {
         self
     }
 
+    /// Warm-starts every **scenario** run this runner launches
+    /// (defaults to the `FIGARO_WARMUP` override, or cold when unset).
+    /// Warmed runs get their own `-warm-<N>` cache keys (see
+    /// [`Runner::warm_suffix`]) even though resumption is bit-identical,
+    /// so a canonical entry is always a cold, uninterrupted run.
+    #[must_use]
+    pub fn with_warmup(mut self, cycles: u64) -> Self {
+        self.warmup = Some(cycles);
+        self
+    }
+
+    /// Pins the FGSN snapshot directory (default: `FIGARO_SNAPSHOT_DIR`,
+    /// falling back to `<cache_dir>/snapshots`).
+    #[must_use]
+    pub fn with_snapshot_dir(mut self, dir: PathBuf) -> Self {
+        self.snapshot_dir = Some(dir);
+        self
+    }
+
     /// Cache-key suffix for the non-default kernel. Without it, a
     /// cross-check run under `FIGARO_KERNEL=reference` could silently
     /// return a cached event-kernel result instead of exercising the
-    /// per-cycle oracle.
-    fn kernel_suffix(&self) -> &'static str {
+    /// per-cycle oracle — and a `FIGARO_KERNEL=sampled` run, which is
+    /// approximate by construction, would poison the canonical entries
+    /// outright.
+    fn kernel_suffix(&self) -> String {
         match self.kernel {
             // The parallel kernel is bit-identical to the event kernel,
             // so the two share the canonical cache keys — a result
             // computed by either is valid for both.
-            Kernel::Event | Kernel::Parallel => "",
-            Kernel::Reference => "-refkernel",
+            Kernel::Event | Kernel::Parallel => String::new(),
+            Kernel::Reference => "-refkernel".to_string(),
+            // Sampled results depend on the window/skip geometry, so
+            // each geometry keys separately.
+            Kernel::Sampled { window, skip } => format!("-sampled-{window},{skip}"),
         }
+    }
+
+    /// Cache-key fragment for warm-started runs: empty for cold runs, a
+    /// `-warm-<N>` suffix otherwise. Resuming from a warm snapshot is
+    /// bit-identical to an uninterrupted run, but the suffix keeps the
+    /// invariant that a canonical cache entry never depended on a
+    /// snapshot file — a bad snapshot can at worst taint `-warm-`
+    /// entries, never the cold baselines figures are built from.
+    fn warm_suffix(warmup: Option<u64>) -> String {
+        warmup.map_or_else(String::new, |w| format!("-warm-{w}"))
     }
 
     /// Cache-key fragment for a scheduling policy: empty for the
@@ -902,8 +981,13 @@ impl Runner {
         let map = sc.map.unwrap_or(self.map);
         let page_map = sc.page_map.unwrap_or(self.page_map);
         let arrival = sc.arrival.or(self.arrival);
-        let key = format!(
-            "{}-scn-{}-{}-{}-ch{}-m{}-t{}{}{}{}{}{}{}",
+        let warmup = sc.warmup_cycles.or(self.warmup).filter(|&w| w > 0);
+        // Everything that determines the simulated state, *except* the
+        // kernel and warm-start: the exact kernels are bit-identical and
+        // warmup always runs exactly, so every kernel (and every sampled
+        // geometry) branches from one snapshot of this warm prefix.
+        let base = format!(
+            "{}-scn-{}-{}-{}-ch{}-m{}-t{}{}{}{}{}{}",
             self.scale.label(),
             sc.name,
             sc.workload.cache_signature(),
@@ -911,13 +995,14 @@ impl Runner {
             sc.channels.map_or_else(|| "def".into(), |c| c.to_string()),
             sc.mshrs_per_core.map_or_else(|| "def".into(), |m| m.to_string()),
             sc.target_insts.map_or_else(|| "def".into(), |t| t.to_string()),
-            self.kernel_suffix(),
             Self::sched_suffix(sched),
             Self::map_suffix(map),
             Self::pagemap_suffix(page_map),
             Self::arrival_suffix(arrival),
             Self::freereloc_suffix()
         );
+        let key = format!("{base}{}{}", self.kernel_suffix(), Self::warm_suffix(warmup));
+        let warm_key = warmup.map(|w| format!("{base}-w{w}"));
         let mut cfg = self
             .system_config(cores, sc.kind.clone())
             .with_sched(sched)
@@ -938,24 +1023,77 @@ impl Runner {
         let max_cycles = targets.iter().max().copied().unwrap_or(1).saturating_mul(400);
         let workload = sc.workload.clone();
         self.cached(&key, move || {
-            let sources: Vec<Box<dyn TraceSource>> = (0..cores)
-                .map(|c| {
-                    let src = workload.source_for(c);
-                    match arrival {
-                        // Per-core seeds tied to the arrival label, so
-                        // cores draw independent gap streams and a kind
-                        // change redraws them.
-                        Some(kind) => {
-                            Box::new(ArrivalSchedule::new(src, kind, seed_for(&kind.label(), c)))
-                                as Box<dyn TraceSource>
+            let build = |cfg: SystemConfig| -> System {
+                let sources: Vec<Box<dyn TraceSource>> = (0..cores)
+                    .map(|c| {
+                        let src = workload.source_for(c);
+                        match arrival {
+                            // Per-core seeds tied to the arrival label, so
+                            // cores draw independent gap streams and a kind
+                            // change redraws them.
+                            Some(kind) => Box::new(ArrivalSchedule::new(
+                                src,
+                                kind,
+                                seed_for(&kind.label(), c),
+                            )) as Box<dyn TraceSource>,
+                            None => src,
                         }
-                        None => src,
-                    }
-                })
-                .collect();
-            let mut sys = System::from_sources(cfg, sources, &targets);
+                    })
+                    .collect();
+                System::from_sources(cfg, sources, &targets)
+            };
+            let mut sys = build(cfg.clone());
+            if let (Some(w), Some(wkey)) = (warmup, &warm_key) {
+                self.warm_start(&mut sys, &cfg, w.min(max_cycles), wkey, &build);
+            }
             RunSummary::from_stats(&sys.run(max_cycles))
         })
+    }
+
+    /// Brings `sys` to the scenario's warm point: restores the FGSN
+    /// snapshot for `warm_key` when one exists, otherwise simulates the
+    /// warm prefix once — under the exact event kernel, so a snapshot
+    /// never embeds sampled-mode approximation — and publishes the
+    /// snapshot for every later run sharing the prefix. `build` must
+    /// reconstruct the system from the same run description (fresh
+    /// deterministic sources).
+    fn warm_start<F: Fn(SystemConfig) -> System>(
+        &self,
+        sys: &mut System,
+        cfg: &SystemConfig,
+        warm_cycles: u64,
+        warm_key: &str,
+        build: &F,
+    ) {
+        let path = self.snapshot_path(warm_key);
+        if let Some(p) = &path {
+            if crate::snapshot::restore(sys, p).is_ok() {
+                return;
+            }
+        }
+        let mut warm = build(SystemConfig { kernel: Kernel::Event, ..cfg.clone() });
+        let _ = warm.run(warm_cycles);
+        if let Some(p) = &path {
+            if let Some(dir) = p.parent() {
+                let _ = fs::create_dir_all(dir);
+            }
+            let _ = crate::snapshot::save(&warm, p);
+        }
+        // Hand the warmed state over in memory — the run must not depend
+        // on the snapshot write having succeeded.
+        let mut words = Vec::new();
+        warm.save_state(&mut words);
+        sys.load_state(&mut &words[..]);
+    }
+
+    /// On-disk location of the FGSN snapshot for a warm-prefix key
+    /// (`None` when snapshot persistence is disabled). The key is
+    /// FNV-hashed into the filename: warm keys repeat the whole scenario
+    /// key and overflow comfortable filename lengths.
+    fn snapshot_path(&self, warm_key: &str) -> Option<PathBuf> {
+        self.snapshot_dir
+            .as_ref()
+            .map(|d| d.join(format!("{:016x}.fgsn", crate::snapshot::key_hash(warm_key))))
     }
 
     /// Runs a batch of scenarios in parallel; results in input order,

@@ -281,7 +281,63 @@ impl System {
             Kernel::Reference => self.run_reference(max_cpu_cycles),
             Kernel::Event => self.run_event(max_cpu_cycles),
             Kernel::Parallel => self.run_parallel(max_cpu_cycles),
+            Kernel::Sampled { window, skip } => self.run_sampled(max_cpu_cycles, window, skip),
         }
+    }
+
+    /// The configuration this system was built from.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The CPU cycle the system has advanced to (`run` resumes here).
+    #[must_use]
+    pub fn cpu_cycle(&self) -> u64 {
+        self.cpu_cycle
+    }
+
+    /// Appends the system's full live state — clock, cores, hierarchy,
+    /// per-channel shards — to a snapshot word stream (the payload of the
+    /// FGSN format, see [`crate::snapshot`]). Construction parameters are
+    /// *not* included: a restore rebuilds the system from the same run
+    /// description, guaranteed by the snapshot's config hash.
+    pub(crate) fn save_state(&self, out: &mut Vec<u64>) {
+        out.push(self.cpu_cycle);
+        out.push(self.cores.len() as u64);
+        for core in &self.cores {
+            core.save_state(out);
+        }
+        self.hierarchy.save_state(out);
+        out.push(self.shards.len() as u64);
+        for sh in &self.shards {
+            sh.save_state(out);
+        }
+    }
+
+    /// Restores state saved by [`System::save_state`] into a freshly
+    /// constructed system (same configuration and trace sources). After
+    /// this, `run` continues bit-identically to the uninterrupted run
+    /// under every kernel.
+    pub(crate) fn load_state(&mut self, src: &mut &[u64]) {
+        self.cpu_cycle = crate::take(src);
+        let n = crate::take(src) as usize;
+        assert_eq!(n, self.cores.len(), "snapshot core-count mismatch");
+        for core in &mut self.cores {
+            core.load_state(src);
+        }
+        self.hierarchy.load_state(src);
+        let n = crate::take(src) as usize;
+        assert_eq!(n, self.shards.len(), "snapshot channel-count mismatch");
+        // The shard frontier the catch-up epoch would have left: every bus
+        // cycle at or before the last executed CPU cycle is processed.
+        let per_bus = self.cfg.cpu_cycles_per_bus;
+        let frontier = if self.cpu_cycle == 0 { 0 } else { (self.cpu_cycle - 1) / per_bus + 1 };
+        self.backlog_len = 0;
+        for sh in &mut self.shards {
+            self.backlog_len += sh.load_state(src, frontier);
+        }
+        self.completion_buf.clear();
     }
 
     /// The original per-cycle clock loop ([`Kernel::Reference`]).
@@ -299,6 +355,15 @@ impl System {
     /// per-cycle step as the reference kernel, but only at event cycles;
     /// skipped intervals are folded into the blocked counters.
     pub(crate) fn run_event(&mut self, max_cpu_cycles: u64) -> RunStats {
+        self.run_event_span(max_cpu_cycles);
+        self.collect()
+    }
+
+    /// The event kernel's clock loop without the final stats collection —
+    /// `run_event` is `run_event_span` + `collect`, and the sampled
+    /// kernel's detailed windows reuse the span directly so each window
+    /// is the exact event-kernel cycle sequence.
+    fn run_event_span(&mut self, max_cpu_cycles: u64) {
         let per_bus = self.cfg.cpu_cycles_per_bus;
         let fill_latency = u64::from(self.cfg.hierarchy.fill_latency);
         // Only live cores are ticked/skipped: a finished core's tick is a
@@ -344,7 +409,108 @@ impl System {
                 self.cpu_cycle = next;
             }
         }
-        self.collect()
+    }
+
+    /// SMARTS-style sampled simulation ([`Kernel::Sampled`]): alternate
+    /// detailed event-kernel windows with functional fast-forward
+    /// intervals. Each skipped interval jumps the clock by `skip` cycles
+    /// and consumes, per core, the instructions the interval would have
+    /// executed at the IPC the core sustained in the detailed window just
+    /// measured — without issuing any cache or memory traffic (see
+    /// [`TraceCore::fast_forward`]). The first half of every post-jump
+    /// window is detailed *warming* (pipeline refill, row buffers, cache
+    /// churn recover from the functional skip) and is excluded from the
+    /// measured IPC, as in SMARTS. Approximate by construction; the
+    /// measured-window IPC and duty-cycle bookkeeping land in
+    /// [`RunStats::sampled`] so reports can quote error bars against full
+    /// runs.
+    fn run_sampled(&mut self, max_cpu_cycles: u64, window: u64, skip: u64) -> RunStats {
+        let window = window.max(1);
+        let mut sampled = crate::metrics::SampledStats {
+            detailed_insts: vec![0; self.cores.len()],
+            ..Default::default()
+        };
+        let mut window_retired = vec![0u64; self.cores.len()];
+        let mut jumped = false;
+        while self.cores.iter().any(|c| !c.finished()) && self.cpu_cycle < max_cpu_cycles {
+            // Detailed window: the exact event-kernel cycle sequence,
+            // with an unmeasured warming prefix after a jump.
+            let start_cycle = self.cpu_cycle;
+            if jumped {
+                self.run_event_span(max_cpu_cycles.min(start_cycle.saturating_add(window / 2)));
+            }
+            let measured_from = self.cpu_cycle;
+            for (i, core) in self.cores.iter().enumerate() {
+                window_retired[i] = core.retired();
+            }
+            self.run_event_span(max_cpu_cycles.min(start_cycle.saturating_add(window)));
+            let ran = self.cpu_cycle - measured_from;
+            sampled.windows += 1;
+            sampled.detailed_cycles += ran;
+            for (i, core) in self.cores.iter().enumerate() {
+                window_retired[i] = core.retired() - window_retired[i];
+                sampled.detailed_insts[i] += window_retired[i];
+            }
+            if skip == 0 || self.cores.iter().all(TraceCore::finished) {
+                continue; // skip=0 degenerates to pure detailed simulation
+            }
+            // Fast-forward: jump the clock, functionally consuming the
+            // instructions each core would have executed at its measured
+            // window IPC. In-flight loads complete "during" the jump
+            // (their absolute wake stamps fall inside it).
+            let jump = skip.min(max_cpu_cycles - self.cpu_cycle);
+            if jump == 0 {
+                continue;
+            }
+            let now = self.cpu_cycle + jump - 1;
+            for (i, core) in self.cores.iter_mut().enumerate() {
+                let est = (u128::from(window_retired[i]) * u128::from(jump)
+                    / u128::from(ran.max(1))) as u64;
+                core.fast_forward(est, now);
+            }
+            // The memory side really simulates through the jump (cores
+            // are frozen, so this is just queued work draining plus
+            // refresh — proportional to pending requests, not cycles).
+            // Without it, in-flight reads would "age" across the whole
+            // skip and poison the next window's head-of-window latency.
+            self.fast_forward_channels(self.cpu_cycle - 1, now);
+            self.cpu_cycle += jump;
+            sampled.skipped_cycles += jump;
+            jumped = true;
+        }
+        let mut stats = self.collect();
+        stats.sampled = Some(sampled);
+        stats
+    }
+
+    /// Advances only the memory side across a fast-forwarded interval:
+    /// processes every bus boundary in `(from, to]` where the hierarchy
+    /// has output to route, backlog waits for queue room, or a
+    /// controller has an event (command issue, write drain, refresh).
+    /// Cores are frozen, so no new traffic arrives and the channels
+    /// simply drain to quiescence; wakes for functionally-retired loads
+    /// are ignored by the cores' `seq >= head_seq` guard.
+    fn fast_forward_channels(&mut self, from: u64, to: u64) {
+        let per_bus = self.cfg.cpu_cycles_per_bus;
+        let fill_latency = u64::from(self.cfg.hierarchy.fill_latency);
+        let mut bus = from / per_bus + 1;
+        let end_bus = to / per_bus;
+        while bus <= end_bus {
+            let mut next =
+                if self.backlog_len > 0 || self.hierarchy.has_outgoing() { bus } else { u64::MAX };
+            if next > bus {
+                for sh in &mut self.shards {
+                    if let Some(b) = sh.mc.next_event_at(bus) {
+                        next = next.min(b);
+                    }
+                }
+            }
+            if next > end_bus {
+                break;
+            }
+            self.step_bus(next, per_bus, fill_latency, true);
+            bus = next + 1;
+        }
     }
 
     pub(crate) fn collect(&self) -> RunStats {
@@ -396,6 +562,7 @@ impl System {
             cache,
             hierarchy,
             energy,
+            sampled: None,
         }
     }
 }
