@@ -1,0 +1,11 @@
+pub struct Glue {
+    trace: Trace,
+}
+
+impl Glue {
+    pub fn flush(&mut self, now: u64) {
+        // Direct emit, sanctioned by the [probe] allow entry: this module
+        // is the implementation layer the probe! sites dispatch into.
+        self.trace.note_refresh(now);
+    }
+}

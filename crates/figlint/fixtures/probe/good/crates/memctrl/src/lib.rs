@@ -1,0 +1,17 @@
+pub struct Controller {
+    trace: Option<Trace>,
+}
+
+impl Controller {
+    pub fn retire(&mut self, bank: usize, now: u64) {
+        probe!(self.trace, t => t.job_retire(bank, now));
+    }
+
+    pub fn refresh(&mut self, now: u64) {
+        // rustfmt-wrapped form: the guard sits two lines above the emit.
+        probe!(
+            self.trace,
+            t => t.note_refresh(now)
+        );
+    }
+}

@@ -106,6 +106,10 @@ const SCHEMA: &[&str] = &[
     "env_registry.allow",
     "panics.crates",
     "panics.allow",
+    "probe.crates",
+    "probe.emit",
+    "probe.guards",
+    "probe.allow",
 ];
 
 impl LintConfig {

@@ -14,6 +14,7 @@
 //! | [`rules::cache_key`] | FIG004 | result-affecting config fields missing from the result-cache key builders |
 //! | [`rules::env_registry`] | FIG005 | `FIGARO_*` env vars read in code but undocumented (or documented but unread) |
 //! | [`rules::panics`] | FIG006 | unbudgeted `unwrap`/`expect`/`panic!` growth in library code |
+//! | [`rules::probe`] | FIG007 | telemetry emits in result-affecting crates not behind the zero-cost `probe!` guard |
 //! | (driver) | FIG000 | stale allowlist entries that no longer match anything |
 //!
 //! The analyzer is a hand-rolled line/token scanner (see [`scan`]) — no
@@ -49,7 +50,7 @@ pub struct Diagnostic {
     pub file: String,
     /// 1-based line.
     pub line: usize,
-    /// Rule ID (`FIG000` … `FIG006`).
+    /// Rule ID (`FIG000` … `FIG007`).
     pub rule: &'static str,
     /// Human-readable description of the violation.
     pub message: String,
@@ -148,6 +149,7 @@ pub fn analyze_root(root: &Path) -> Result<Vec<Diagnostic>, String> {
     diags.extend(rules::cache_key::run(&ws, &mut tracker)?);
     diags.extend(rules::env_registry::run(&ws, &mut tracker)?);
     diags.extend(rules::panics::run(&ws, &mut tracker)?);
+    diags.extend(rules::probe::run(&ws, &mut tracker)?);
     diags.extend(tracker.stale());
     diags.sort();
     diags.dedup();

@@ -7,6 +7,7 @@ pub mod env_registry;
 pub mod floats;
 pub mod horizon;
 pub mod panics;
+pub mod probe;
 
 use crate::config::AllowEntry;
 use crate::Diagnostic;

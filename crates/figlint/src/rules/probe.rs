@@ -1,0 +1,117 @@
+//! FIG007 — probe discipline: telemetry emits in result-affecting
+//! crates must sit behind the zero-cost `probe!` guard.
+//!
+//! The telemetry subsystem is **result-neutral by contract**: a run with
+//! `FIGARO_STATS_INTERVAL`/`FIGARO_TRACE` set must produce bit-identical
+//! `RunStats` to one without, and a run with telemetry off must pay
+//! nothing beyond one `Option` discriminant test per probe site. Both
+//! properties hinge on every emit call in simulator code being wrapped
+//! in `figaro_telemetry::probe!` (or an equivalent guard listed under
+//! `[probe] guards`): the macro tests the `Option` and only then runs
+//! the emit body, so the disabled path allocates nothing and the body
+//! can never feed data back into simulated state.
+//!
+//! The scan is lexical: a line in a `[probe] crates` file that contains
+//! an emit token from `[probe] emit` (e.g. `.job_retire(`) must have a
+//! guard token on the same line **or one of the two preceding lines** —
+//! rustfmt wraps `probe!(sink, t => t.emit(…))` across three lines, with
+//! the macro name first. `#[cfg(test)]` code is exempt. Sanctioned glue
+//! (the one module that *implements* the probes and therefore calls the
+//! emit primitives directly) carries a justified `[probe] allow` entry.
+
+use crate::rules::{in_crates, AllowTracker};
+use crate::{Diagnostic, Workspace};
+
+/// How many preceding lines may carry the guard for a wrapped call.
+const GUARD_LOOKBACK: usize = 2;
+
+/// Runs FIG007 over the workspace.
+pub fn run(ws: &Workspace, tracker: &mut AllowTracker) -> Result<Vec<Diagnostic>, String> {
+    let crates = ws.config.strings("probe.crates");
+    let emit = ws.config.strings("probe.emit");
+    let guards = ws.config.strings("probe.guards");
+    tracker.register("probe", ws.config.allow("probe")?);
+    let mut diags = Vec::new();
+    for file in &ws.files {
+        if !in_crates(&file.rel_path, &crates) {
+            continue;
+        }
+        for (i, code) in file.code_lines.iter().enumerate() {
+            let line = i + 1;
+            if file.is_test_line(line) {
+                continue;
+            }
+            for tok in &emit {
+                if !code.contains(tok.as_str()) {
+                    continue;
+                }
+                let guarded = file.code_lines[i.saturating_sub(GUARD_LOOKBACK)..=i]
+                    .iter()
+                    .any(|l| guards.iter().any(|g| l.contains(g.as_str())));
+                if guarded {
+                    continue;
+                }
+                let fn_name = file.fn_at(line).map(|f| f.name.clone());
+                if tracker.allows("probe", &file.rel_path, code, fn_name.as_deref()) {
+                    continue;
+                }
+                diags.push(Diagnostic {
+                    file: file.rel_path.clone(),
+                    line,
+                    rule: "FIG007",
+                    message: format!(
+                        "unguarded telemetry emit `{tok}` in a result-affecting crate — wrap \
+                         the call in `figaro_telemetry::probe!` so the disabled path stays \
+                         zero-cost and telemetry can never perturb simulated state"
+                    ),
+                });
+            }
+        }
+    }
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LintConfig;
+    use crate::scan::SourceFile;
+    use std::path::PathBuf;
+
+    fn ws(src: &str, toml: &str) -> Workspace {
+        Workspace {
+            root: PathBuf::from("."),
+            files: vec![SourceFile::lex("crates/memctrl/src/lib.rs", src)],
+            config: LintConfig::parse(toml).unwrap(),
+        }
+    }
+
+    const TOML: &str = "[probe]\ncrates = [\"crates/memctrl\"]\n\
+                        emit = [\".job_retire(\"]\nguards = [\"probe!(\"]\n";
+
+    #[test]
+    fn flags_a_bare_emit_and_accepts_a_guarded_one() {
+        let src = "fn a(t: &mut T) { t.job_retire(0, 1); }\n\
+                   fn b(s: &mut S) { probe!(s.trace, t => t.job_retire(0, 1)); }\n";
+        let mut tracker = AllowTracker::default();
+        let diags = run(&ws(src, TOML), &mut tracker).unwrap();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 1);
+        assert_eq!(diags[0].rule, "FIG007");
+    }
+
+    #[test]
+    fn guard_lookback_spans_a_wrapped_call() {
+        let src = "fn a(s: &mut S) {\n    probe!(\n        s.trace,\n        t => t.job_retire(0, 1)\n    );\n}\n";
+        let mut tracker = AllowTracker::default();
+        let diags = run(&ws(src, TOML), &mut tracker).unwrap();
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn test_modules_are_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n    fn t(x: &mut T) { x.job_retire(0, 1); }\n}\n";
+        let mut tracker = AllowTracker::default();
+        assert!(run(&ws(src, TOML), &mut tracker).unwrap().is_empty());
+    }
+}

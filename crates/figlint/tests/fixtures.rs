@@ -155,6 +155,22 @@ fn panics_accept_an_exact_budget() {
 }
 
 #[test]
+fn probe_catches_a_bare_emit() {
+    // One bare `.job_retire(` behind a hand-rolled `if let` — the guard
+    // must be the probe! macro, not an ad-hoc Option test.
+    let diags = lint("probe/bad");
+    assert_rules("probe/bad", &["FIG007"]);
+    assert!(diags[0].contains("job_retire"), "{}", diags.join("\n"));
+}
+
+#[test]
+fn probe_accepts_guarded_and_sanctioned_emits() {
+    // Single-line probe!, the rustfmt-wrapped three-line form, and a
+    // justified allow for the glue module that implements the probes.
+    assert_clean("probe/good");
+}
+
+#[test]
 fn stale_allow_entries_fail_the_run() {
     let diags = lint("stale/bad");
     assert_rules("stale/bad", &["FIG000"]);

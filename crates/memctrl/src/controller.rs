@@ -98,6 +98,14 @@ pub struct McStats {
     pub enq_reads: u64,
     /// Writes enqueued.
     pub enq_writes: u64,
+    /// Peak read-queue occupancy ever observed (sampled after each
+    /// enqueue — occupancy only grows on enqueues). Merged across
+    /// channels with `max`, so the merged figure is the worst channel's
+    /// peak; per-channel values are surfaced by `RunStats::per_channel`.
+    pub read_q_peak: u64,
+    /// Peak write-queue occupancy ever observed (see
+    /// [`McStats::read_q_peak`]).
+    pub write_q_peak: u64,
     /// Per-read latency distribution (arrival → data, bus cycles) —
     /// same samples the sum above accumulates, bucketed for tail
     /// percentiles.
@@ -134,8 +142,11 @@ impl McStats {
         self.read_latency_hist.record(lat);
     }
 
-    /// Element-wise accumulation across channels.
+    /// Element-wise accumulation across channels (peak gauges merge
+    /// with `max` — the worst channel, not a meaningless sum).
     pub fn merge_from(&mut self, o: &McStats) {
+        self.read_q_peak = self.read_q_peak.max(o.read_q_peak);
+        self.write_q_peak = self.write_q_peak.max(o.write_q_peak);
         self.row_hits += o.row_hits;
         self.row_misses += o.row_misses;
         self.row_conflicts += o.row_conflicts;
@@ -180,6 +191,11 @@ pub struct MemoryController {
     /// [`MemoryController::tick`]; [`MemoryController::enqueue`] updates
     /// it incrementally instead of recomputing the full scan.
     horizon: Option<Option<Cycle>>,
+    /// Event-trace sink (`FIGARO_TRACE`): job/drain spans and refresh
+    /// instants, stamped in bus cycles. Result-neutral — never
+    /// snapshotted, never consulted by any scheduling decision; every
+    /// emit goes through the `probe!` guard (figlint FIG007).
+    trace: Option<Box<figaro_telemetry::trace::ControllerTrace>>,
 }
 
 impl MemoryController {
@@ -216,7 +232,21 @@ impl MemoryController {
             agg_touched: Vec::with_capacity(banks),
             demand_scratch: vec![false; banks],
             horizon: None,
+            trace: None,
         }
+    }
+
+    /// Attaches an event-trace buffer recording the filtered
+    /// categories (idempotent per run: replaces any previous buffer).
+    pub fn enable_trace(&mut self, filter: figaro_telemetry::TraceFilter) {
+        let banks = self.banks.len();
+        self.trace = Some(Box::new(figaro_telemetry::trace::ControllerTrace::new(banks, filter)));
+    }
+
+    /// Detaches the event-trace buffer, closing any still-open spans
+    /// at bus cycle `now`. `None` when tracing was never enabled.
+    pub fn take_trace(&mut self, now: Cycle) -> Option<figaro_telemetry::TraceBuffer> {
+        self.trace.take().map(|t| t.finish(now))
     }
 
     /// The scheduling policy in force.
@@ -264,6 +294,8 @@ impl MemoryController {
         if req.is_write {
             self.stats.enq_writes += 1;
             self.write_q.push_back(entry);
+            self.stats.write_q_peak = self.stats.write_q_peak.max(self.write_q.len() as u64);
+            figaro_telemetry::probe!(self.trace, t => t.drain_update(now, self.write_q.len(), self.wq_high, self.wq_low));
             self.horizon_note_enqueue(&entry, now, true);
         } else {
             self.stats.enq_reads += 1;
@@ -300,6 +332,7 @@ impl MemoryController {
                 return;
             }
             self.read_q.push_back(entry);
+            self.stats.read_q_peak = self.stats.read_q_peak.max(self.read_q.len() as u64);
             self.horizon_note_enqueue(&entry, now, true);
         }
     }
@@ -480,6 +513,8 @@ impl MemoryController {
         out.push(self.stats.read_latency_sum);
         out.push(self.stats.enq_reads);
         out.push(self.stats.enq_writes);
+        out.push(self.stats.read_q_peak);
+        out.push(self.stats.write_q_peak);
         self.stats.read_latency_hist.save_state(out);
         self.read_q.save_state(out);
         self.write_q.save_state(out);
@@ -528,6 +563,8 @@ impl MemoryController {
         self.stats.read_latency_sum = crate::take(src);
         self.stats.enq_reads = crate::take(src);
         self.stats.enq_writes = crate::take(src);
+        self.stats.read_q_peak = crate::take(src);
+        self.stats.write_q_peak = crate::take(src);
         self.stats.read_latency_hist.load_state(src);
         self.read_q.load_state(src);
         self.write_q.load_state(src);
@@ -934,6 +971,7 @@ impl MemoryController {
         let bank = BankAddr { rank: 0, bankgroup: 0, bank: 0 };
         if self.channel.can_issue(bank, &DramCommand::Refresh, now) {
             self.issue(bank, &DramCommand::Refresh, now);
+            figaro_telemetry::probe!(self.trace, t => t.note_refresh(now));
             let refi = Cycle::from(self.channel.config().timing.refi);
             self.next_refresh += refi;
             self.refresh_pending = false;
@@ -963,6 +1001,9 @@ impl MemoryController {
             return false;
         };
         let entry = if serve_writes { self.write_q.remove(id) } else { self.read_q.remove(id) };
+        if serve_writes {
+            figaro_telemetry::probe!(self.trace, t => t.drain_update(now, self.write_q.len(), self.wq_high, self.wq_low));
+        }
         let cmd = scheduler::column_cmd(&entry);
         let done = self.issue(entry.bank, &cmd, now);
         self.classify_and_count(&entry);
@@ -1023,6 +1064,7 @@ impl MemoryController {
     fn retire_job(&mut self, bank_idx: usize, now: Cycle) {
         if let Some(job) = self.banks[bank_idx].job.take() {
             self.engine.on_job_complete(bank_idx as u32, job.id, now);
+            figaro_telemetry::probe!(self.trace, t => t.job_retire(bank_idx, now));
         }
     }
 
@@ -1044,6 +1086,10 @@ impl MemoryController {
                 .is_some_and(|src| self.channel.open_row(self.banks[bank_idx].addr) == Some(src));
             if cheap || !self.bank_has_demand(bank) {
                 self.banks[bank_idx].job = self.engine.take_job(bank, now);
+                if let Some(job) = &self.banks[bank_idx].job {
+                    let id = job.id;
+                    figaro_telemetry::probe!(self.trace, t => t.job_start(bank_idx, id, now));
+                }
             }
         }
     }

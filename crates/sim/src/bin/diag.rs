@@ -10,12 +10,15 @@
 
 use figaro_sim::runner::Scale;
 use figaro_sim::{snapshot, ConfigKind, System, SystemConfig};
+use figaro_telemetry::TelemetryConfig;
 use figaro_workloads::{profile_by_name, ArrivalKind, ArrivalSchedule, TraceSource};
 
 fn usage() -> ! {
     eprintln!(
         "usage: diag [<app> [<config> [<scale>]]]\n\
          \x20      diag snapshot <file.fgsn>\n\
+         \x20      diag timeline <series> [<app> [<config> [<scale>]]]\n\
+         \x20      diag trace <file.json>\n\
          \n\
          app     a workload profile name (default: mcf)\n\
          config  base | lisa | slow | fast | ideal | ll (default: fast)\n\
@@ -24,6 +27,11 @@ fn usage() -> ! {
          `diag snapshot` prints an FGSN warm-state snapshot's header:\n\
          format version, config hash, CPU cycle, per-core progress and\n\
          per-channel queue occupancy.\n\
+         `diag timeline` runs the app with the interval sampler on and\n\
+         renders the chosen series (e.g. row_hits, ch0.read_q, mshr) as\n\
+         an ASCII sparkline; FIGARO_STATS_INTERVAL overrides the stride.\n\
+         `diag trace` validates a Chrome trace-event JSON file (ours or\n\
+         foreign) and summarizes events per category and span balance.\n\
          \n\
          env (result-affecting):\n\
          FIGARO_SCHED=frfcfs|fcfs|frfcfs-cap<N>|wdrain<H>-<L> picks the\n\
@@ -51,6 +59,15 @@ fn usage() -> ! {
          FIGARO_SNAPSHOT_DIR=<dir> where FGSN warm-state snapshots live\n\
          (default: <cache_dir>/snapshots; resumption is bit-identical, so\n\
          the location never changes results),\n\
+         FIGARO_STATS_INTERVAL=<cycles> samples the interval time-series\n\
+         (per-channel row hits/misses/conflicts, queue depths, FIGCache\n\
+         activity, per-core IPC/MSHR) every N CPU cycles,\n\
+         FIGARO_TRACE=<path>[:filter] writes a Chrome trace-event JSON\n\
+         (relocation jobs, write drains, refreshes, sampling windows;\n\
+         filter is a comma list of reloc,drain,refresh,window,warm,epoch\n\
+         or `all`; load the file in Perfetto),\n\
+         FIGARO_PROFILE=1 prints the kernel self-profile (wall-clock\n\
+         time per component, epochs/sec, shard imbalance) after the run,\n\
          FIGARO_FULL_SWEEPS=1 runs Figs. 12-15 over all 20 profiles,\n\
          FIGARO_SLOW_TESTS=1 enables the ignored full-scale tests,\n\
          FIGARO_LONG_OPS=<N> ops per core in the long streaming test,\n\
@@ -88,6 +105,51 @@ fn snapshot_info(path: &str) -> ! {
     std::process::exit(0)
 }
 
+/// `diag trace <file>`: validate and summarize a Chrome trace file.
+fn trace_info(path: &str) -> ! {
+    let s = match figaro_telemetry::trace::summarize_file(std::path::Path::new(path)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("diag trace: {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("file              : {path}");
+    println!("events            : {}", s.events);
+    println!("  complete spans  : {}", s.complete);
+    println!("  instants        : {}", s.instant);
+    if s.begins + s.ends + s.other_ph > 0 {
+        println!("  B/E/other ph    : {} / {} / {}", s.begins, s.ends, s.other_ph);
+    }
+    println!("max ts            : {} cpu cycles", s.max_ts);
+    for (cat, n) in &s.by_cat {
+        println!("  cat {cat:<13} : {n}");
+    }
+    if s.balanced() {
+        println!("span balance      : ok");
+        std::process::exit(0)
+    }
+    println!("span balance      : UNBALANCED ({} begins, {} ends)", s.begins, s.ends);
+    std::process::exit(1)
+}
+
+/// Max-pools a series down to at most `width` sparkline buckets so long
+/// runs stay one terminal line (peaks survive pooling; troughs do not).
+fn pooled(vals: impl ExactSizeIterator<Item = u64>, width: usize) -> Vec<u64> {
+    let n = vals.len();
+    let per = n.div_ceil(width).max(1);
+    let mut out = Vec::with_capacity(n.div_ceil(per));
+    let mut bucket = 0u64;
+    for (i, v) in vals.enumerate() {
+        bucket = bucket.max(v);
+        if (i + 1) % per == 0 || i + 1 == n {
+            out.push(bucket);
+            bucket = 0;
+        }
+    }
+    out
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.get(1).is_some_and(|a| a == "snapshot") {
@@ -96,15 +158,30 @@ fn main() {
             _ => usage(),
         }
     }
-    if args.len() > 4 || args.iter().skip(1).any(|a| a == "-h" || a == "--help") {
+    if args.get(1).is_some_and(|a| a == "trace") {
+        match args.get(2) {
+            Some(path) if args.len() == 3 => trace_info(path),
+            _ => usage(),
+        }
+    }
+    let mut pos: Vec<String> = args[1..].to_vec();
+    let mut timeline_col = None;
+    if pos.first().is_some_and(|a| a == "timeline") {
+        pos.remove(0);
+        if pos.is_empty() {
+            usage();
+        }
+        timeline_col = Some(pos.remove(0));
+    }
+    if pos.len() > 3 || pos.iter().any(|a| a == "-h" || a == "--help") {
         usage();
     }
-    let app = args.get(1).map_or("mcf", String::as_str);
-    let Some(kind) = ConfigKind::from_name(args.get(2).map_or("fast", String::as_str)) else {
-        eprintln!("unknown config `{}`", args[2]);
+    let app = pos.first().map_or("mcf", String::as_str);
+    let Some(kind) = ConfigKind::from_name(pos.get(1).map_or("fast", String::as_str)) else {
+        eprintln!("unknown config `{}`", pos[1]);
         usage();
     };
-    let scale = match args.get(3).map(String::as_str) {
+    let scale = match pos.get(2).map(String::as_str) {
         None | Some("small") => Scale::Small,
         Some("tiny") => Scale::Tiny,
         Some("full") => Scale::Full,
@@ -136,7 +213,47 @@ fn main() {
         }
         None => System::new(cfg, vec![trace], &[insts]),
     };
+    if timeline_col.is_some() {
+        // The timeline needs the sampler even when the env did not ask
+        // for it; keep any env-requested trace sink alongside.
+        let base = TelemetryConfig::from_env();
+        let interval = base.interval.unwrap_or(10_000);
+        sys.set_telemetry(&TelemetryConfig { interval: Some(interval), trace: base.trace });
+    }
+    if figaro_telemetry::profile::profile_enabled() {
+        sys.enable_profiling();
+    }
     let s = sys.run(insts * 400);
+    if let Some(col) = timeline_col {
+        let Some(series) = sys.telemetry_series() else {
+            eprintln!("diag timeline: no samples collected (run shorter than the interval?)");
+            std::process::exit(1);
+        };
+        let Some(idx) = series.col_index(&col) else {
+            eprintln!("diag timeline: unknown series `{col}`; available:");
+            for c in &series.cols {
+                eprintln!("  {}", c.name);
+            }
+            std::process::exit(1);
+        };
+        let c = &series.cols[idx];
+        println!(
+            "series {} ({:?}) — {} samples ({} evicted), cycles {}..{}",
+            c.name,
+            c.kind,
+            series.len(),
+            series.dropped,
+            series.cycles.front().copied().unwrap_or(0),
+            series.cycles.back().copied().unwrap_or(0),
+        );
+        println!(
+            "{}",
+            figaro_telemetry::series::sparkline(pooled(c.vals.iter().copied(), 72).into_iter())
+        );
+        let trough = if c.trough == u64::MAX { 0 } else { c.trough };
+        println!("peak {} trough {trough} total {}", c.peak, c.total);
+        std::process::exit(0)
+    }
 
     println!(
         "app={app} config={} insts={insts} kernel={} threads={threads} sched={} map={} pagemap={}",
@@ -168,6 +285,16 @@ fn main() {
         s.mc.row_conflicts,
         s.row_hit_rate()
     );
+    for (i, ch) in s.per_channel.iter().enumerate() {
+        println!(
+            "  ch{i}: hit rate {:.3}  rq peak {}  wq peak {}  r/w {} / {}",
+            ch.row_hit_rate(),
+            ch.read_q_peak,
+            ch.write_q_peak,
+            ch.reads_served,
+            ch.writes_served
+        );
+    }
     println!(
         "acts slow/fast    : {} / {}   merges {} / {}",
         s.dram.activates, s.dram.activates_fast, s.dram.merges, s.dram.merges_fast
@@ -197,4 +324,10 @@ fn main() {
         "energy nJ         : cpu {:.0} l1l2 {:.0} llc {:.0} off {:.0} dram {:.0}",
         s.energy.cpu, s.energy.l1l2, s.energy.llc, s.energy.offchip, s.energy.dram
     );
+    if let Some(p) = sys.profile() {
+        println!("--- kernel self-profile (FIGARO_PROFILE=1, wall clock; result-neutral) ---");
+        for line in p.report() {
+            println!("{line}");
+        }
+    }
 }

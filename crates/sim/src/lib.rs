@@ -55,12 +55,14 @@ pub mod report;
 pub mod runner;
 pub mod snapshot;
 pub mod system;
+pub mod telemetry;
 
 pub use config::{ConfigKind, Kernel, SystemConfig};
 pub use figaro_dram::{MapKind, MapScheme};
 pub use figaro_memctrl::SchedPolicyKind;
 pub use figaro_workloads::PageMapKind;
-pub use metrics::{RunStats, SampledStats};
+pub use metrics::{ChannelStats, RunStats, SampledStats};
 pub use runner::{Runner, Scale, Scenario, ScenarioWorkload};
 pub use snapshot::{config_hash, SnapshotHeader};
 pub use system::System;
+pub use telemetry::KernelProfile;

@@ -27,6 +27,10 @@ pub struct RunStats {
     pub dram: DramStats,
     /// Merged cache-engine stats (all channels).
     pub cache: CacheStats,
+    /// Per-channel controller breakdown, in channel order — the merged
+    /// `mc` view hides cross-channel imbalance (a hot channel's
+    /// conflicts average away), so summaries surface these gauges too.
+    pub per_channel: Vec<ChannelStats>,
     /// Cache-hierarchy stats.
     pub hierarchy: HierarchyStats,
     /// System energy breakdown.
@@ -36,6 +40,35 @@ pub struct RunStats {
     /// the three exact kernels, so their bit-identity comparisons are
     /// unaffected.
     pub sampled: Option<SampledStats>,
+}
+
+/// Per-channel slice of the controller statistics — what the merged
+/// [`RunStats::mc`] view cannot show: which channel ran hot.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    /// Row-buffer hits on this channel.
+    pub row_hits: u64,
+    /// Row-buffer misses (closed row) on this channel.
+    pub row_misses: u64,
+    /// Row-buffer conflicts (wrong row open) on this channel.
+    pub row_conflicts: u64,
+    /// Reads served by this channel.
+    pub reads_served: u64,
+    /// Writes served by this channel.
+    pub writes_served: u64,
+    /// Peak read-queue occupancy (sampled after each enqueue).
+    pub read_q_peak: u64,
+    /// Peak write-queue occupancy (sampled after each enqueue).
+    pub write_q_peak: u64,
+}
+
+impl ChannelStats {
+    /// Row-buffer hit rate of this channel alone.
+    #[must_use]
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses + self.row_conflicts;
+        safe_ratio(self.row_hits as f64, total as f64)
+    }
 }
 
 /// Bookkeeping of a [`crate::Kernel::Sampled`] run: how much of the clock

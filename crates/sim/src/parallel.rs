@@ -45,10 +45,12 @@
 use std::collections::VecDeque;
 
 use figaro_memctrl::{Completion, MemoryController, Request};
+use figaro_telemetry::profile::ShardTimers;
 use rayon::WorkerPool;
 
 use crate::metrics::RunStats;
 use crate::system::System;
+use crate::telemetry::{PROF_CORES, PROF_MEMORY};
 
 /// One parallel-kernel shard: a memory controller plus everything that
 /// is private to its channel (backlog, epoch mailboxes, lookahead
@@ -269,19 +271,35 @@ const INLINE_WINDOW: u64 = 8;
 /// are dealt round-robin across workers; each worker owns a disjoint
 /// index set, and `WorkerPool::run` does not return until every worker
 /// (caller included) is done, so no shard is ever touched by two threads.
-fn advance_all(shards: &mut [ChannelShard], target: u64, pool: &WorkerPool) {
+///
+/// `timers`, when profiling is on, collects per-shard busy wall time
+/// (the imbalance diagnostic); it is side-channel only and never read by
+/// simulation state.
+fn advance_all(
+    shards: &mut [ChannelShard],
+    target: u64,
+    pool: &WorkerPool,
+    timers: Option<&ShardTimers>,
+) {
     /// A `Sync` view of the shard slice for the raw-pointer fan-out; the
     /// disjoint round-robin partition is what makes the `&mut` derivation
     /// in the worker body sound.
     struct ShardPtr(*mut ChannelShard, usize);
     unsafe impl Sync for ShardPtr {}
+    let advance = |i: usize, sh: &mut ChannelShard| match timers {
+        Some(t) => {
+            let ((), ns) = figaro_telemetry::profile::timed(|| sh.advance_to(target));
+            t.add(i, ns);
+        }
+        None => sh.advance_to(target),
+    };
     let min_frontier = shards.iter().map(|s| s.frontier).min().unwrap_or(target);
     if pool.threads() <= 1
         || shards.len() <= 1
         || target.saturating_sub(min_frontier) < INLINE_WINDOW
     {
-        for sh in shards.iter_mut() {
-            sh.advance_to(target);
+        for (i, sh) in shards.iter_mut().enumerate() {
+            advance(i, sh);
         }
         return;
     }
@@ -289,6 +307,7 @@ fn advance_all(shards: &mut [ChannelShard], target: u64, pool: &WorkerPool) {
     let ptr = ShardPtr(shards.as_mut_ptr(), shards.len());
     // Capture the Sync wrapper itself, not its raw-pointer field.
     let ptr = &ptr;
+    let advance = &advance;
     pool.run(&move |worker: usize| {
         let mut i = worker;
         while i < ptr.1 {
@@ -296,7 +315,7 @@ fn advance_all(shards: &mut [ChannelShard], target: u64, pool: &WorkerPool) {
             // == w`, all in-bounds, and the pool's run/join protocol means
             // these `&mut`s never coexist with any other access.
             let sh = unsafe { &mut *ptr.0.add(i) };
-            sh.advance_to(target);
+            advance(i, sh);
             i += threads;
         }
     });
@@ -322,8 +341,15 @@ impl System {
             (0..self.cores.len()).filter(|&i| !self.cores[i].finished()).collect();
         while !live.is_empty() && self.cpu_cycle < max_cpu_cycles {
             let now = self.cpu_cycle;
+            if now >= self.telemetry_next_sample() {
+                self.catch_up_for_sample(now, per_bus);
+                self.maybe_sample(now);
+            }
             if let Some(bus) = self.bus_boundary(now, per_bus) {
                 self.step_bus_sharded(bus, per_bus, fill_latency, &pool);
+            }
+            if let Some(p) = &mut self.profiler {
+                p.clock.lap(PROF_MEMORY);
             }
             let mut next = max_cpu_cycles;
             live.retain(|&i| {
@@ -337,6 +363,9 @@ impl System {
                 }
                 true
             });
+            if let Some(p) = &mut self.profiler {
+                p.clock.lap(PROF_CORES);
+            }
             self.cpu_cycle += 1;
             if live.is_empty() {
                 break;
@@ -345,6 +374,9 @@ impl System {
                 continue;
             }
             let next = self.horizon_sharded(now, next).clamp(now + 1, max_cpu_cycles);
+            // Execute the next sample boundary instead of jumping it (see
+            // the identical clamp in the event kernel's span).
+            let next = next.min(self.telemetry_next_sample());
             let skip = next - self.cpu_cycle;
             if skip > 0 {
                 for &i in &live {
@@ -383,13 +415,18 @@ impl System {
     /// channel order — the exact cycle, order and wake stamps of the
     /// serial kernels' `step_bus`.
     fn step_bus_sharded(&mut self, bus: u64, per_bus: u64, fill_latency: u64, pool: &WorkerPool) {
+        figaro_telemetry::probe!(self.telemetry, t => t.epoch_mark(bus * per_bus));
+        if let Some(p) = &mut self.profiler {
+            p.epochs += 1;
+        }
         if self.hierarchy.has_outgoing() {
             for req in self.hierarchy.take_outgoing() {
                 let ch = self.mapping.decode(req.addr).channel as usize;
                 self.shards[ch].inbox.push(req);
             }
         }
-        advance_all(&mut self.shards, bus, pool);
+        let timers = self.profiler.as_deref().map(|p| &p.shard_timers);
+        advance_all(&mut self.shards, bus, pool, timers);
         for ch in 0..self.shards.len() {
             if self.shards[ch].outbox.is_empty() {
                 continue;
@@ -406,6 +443,32 @@ impl System {
                 }
             }
             self.shards[ch].outbox = out;
+        }
+    }
+
+    /// Advances every lagging shard to the last bus boundary before
+    /// CPU cycle `now`, so a telemetry sample taken at `now` observes
+    /// exactly the state the *serial* kernels would show: the serial
+    /// event kernel folds controller horizons into its skip and has
+    /// therefore replayed every controller-internal event cycle up to
+    /// `now`, while the parallel kernel defers those to the next epoch.
+    /// This is the final catch-up epoch's logic applied mid-run; the
+    /// same lookahead argument shows no completion can be produced
+    /// (asserted), so replaying early is behavior-identical — it only
+    /// moves *when* the deferred cycles run, never *what* they do.
+    fn catch_up_for_sample(&mut self, now: u64, per_bus: u64) {
+        if now == 0 {
+            return;
+        }
+        let target = (now - 1) / per_bus;
+        for sh in &mut self.shards {
+            if sh.frontier <= target {
+                sh.advance_to(target);
+            }
+            assert!(
+                sh.outbox.is_empty(),
+                "undelivered completion at a sample boundary — lookahead bound unsound"
+            );
         }
     }
 

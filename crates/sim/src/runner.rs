@@ -33,7 +33,7 @@ use figaro_dram::MapKind;
 use figaro_memctrl::SchedPolicyKind;
 
 use crate::config::{ConfigKind, Kernel, SystemConfig};
-use crate::metrics::RunStats;
+use crate::metrics::{ChannelStats, RunStats};
 use crate::system::System;
 
 /// Simulation scale: instructions per core.
@@ -141,6 +141,15 @@ pub struct RunSummary {
     /// (see [`RunStats::unfinished_cores`]); non-zero means the summary
     /// is a truncated measurement, and report builders flag it.
     pub truncated_cores: u64,
+    /// Per-channel row-buffer hit rate, in channel order — the merged
+    /// `row_hit_rate` averages away a hot channel (see
+    /// [`crate::metrics::ChannelStats`]). Empty in summaries restored
+    /// from cache files written before the field existed.
+    pub ch_row_hit_rate: Vec<f64>,
+    /// Per-channel peak read-queue occupancy.
+    pub ch_read_q_peak: Vec<u64>,
+    /// Per-channel peak write-queue occupancy.
+    pub ch_write_q_peak: Vec<u64>,
 }
 
 impl RunSummary {
@@ -166,6 +175,9 @@ impl RunSummary {
             read_lat_max: s.mc.read_latency_hist.max(),
             insertions: s.cache.insertions,
             truncated_cores: s.unfinished_cores() as u64,
+            ch_row_hit_rate: s.per_channel.iter().map(ChannelStats::row_hit_rate).collect(),
+            ch_read_q_peak: s.per_channel.iter().map(|c| c.read_q_peak).collect(),
+            ch_write_q_peak: s.per_channel.iter().map(|c| c.write_q_peak).collect(),
         }
     }
 
@@ -196,8 +208,9 @@ impl RunSummary {
     fn to_text(&self) -> String {
         let vec_join =
             |v: &[f64]| v.iter().map(|x| Self::f64_text(*x)).collect::<Vec<_>>().join(",");
+        let u64_join = |v: &[u64]| v.iter().map(u64::to_string).collect::<Vec<_>>().join(",");
         format!(
-            "ipc {}\nmpki {}\nrow_hit_rate {}\ncache_hit_rate {}\nenergy {},{},{},{},{}\ncpu_cycles {}\nrelocs {}\nlisa_clones {}\navg_read_latency {}\nreads_served {}\nread_lat_p50 {}\nread_lat_p95 {}\nread_lat_p99 {}\nread_lat_p999 {}\nread_lat_max {}\ninsertions {}\ntruncated_cores {}\n",
+            "ipc {}\nmpki {}\nrow_hit_rate {}\ncache_hit_rate {}\nenergy {},{},{},{},{}\ncpu_cycles {}\nrelocs {}\nlisa_clones {}\navg_read_latency {}\nreads_served {}\nread_lat_p50 {}\nread_lat_p95 {}\nread_lat_p99 {}\nread_lat_p999 {}\nread_lat_max {}\ninsertions {}\ntruncated_cores {}\nch_row_hit_rate {}\nch_read_q_peak {}\nch_write_q_peak {}\n",
             vec_join(&self.ipc),
             vec_join(&self.mpki),
             Self::f64_text(self.row_hit_rate),
@@ -219,6 +232,9 @@ impl RunSummary {
             self.read_lat_max,
             self.insertions,
             self.truncated_cores,
+            vec_join(&self.ch_row_hit_rate),
+            u64_join(&self.ch_read_q_peak),
+            u64_join(&self.ch_write_q_peak),
         )
     }
 
@@ -235,8 +251,23 @@ impl RunSummary {
             return None;
         }
         // Fields absent in cache files written before they existed
-        // default to 0 (matching what those runs would have reported).
+        // default to 0 / empty (matching what those runs would have
+        // reported).
         let legacy_u64 = |k: &str| map.get(k).map_or(Some(0), |v| v.parse().ok());
+        let legacy_f64_vec = |k: &str| -> Option<Vec<f64>> {
+            match map.get(k) {
+                None => Some(Vec::new()),
+                Some(v) if v.is_empty() => Some(Vec::new()),
+                Some(v) => parse_vec(v),
+            }
+        };
+        let legacy_u64_vec = |k: &str| -> Option<Vec<u64>> {
+            match map.get(k) {
+                None => Some(Vec::new()),
+                Some(v) if v.is_empty() => Some(Vec::new()),
+                Some(v) => v.split(',').map(|x| x.parse().ok()).collect(),
+            }
+        };
         Some(Self {
             ipc: parse_vec(map.get("ipc")?)?,
             mpki: parse_vec(map.get("mpki")?)?,
@@ -255,6 +286,9 @@ impl RunSummary {
             read_lat_max: legacy_u64("read_lat_max")?,
             insertions: map.get("insertions")?.parse().ok()?,
             truncated_cores: legacy_u64("truncated_cores")?,
+            ch_row_hit_rate: legacy_f64_vec("ch_row_hit_rate")?,
+            ch_read_q_peak: legacy_u64_vec("ch_read_q_peak")?,
+            ch_write_q_peak: legacy_u64_vec("ch_write_q_peak")?,
         })
     }
 }
@@ -1068,6 +1102,7 @@ impl Runner {
         let path = self.snapshot_path(warm_key);
         if let Some(p) = &path {
             if crate::snapshot::restore(sys, p).is_ok() {
+                sys.note_warm_resume();
                 return;
             }
         }
@@ -1084,6 +1119,7 @@ impl Runner {
         let mut words = Vec::new();
         warm.save_state(&mut words);
         sys.load_state(&mut &words[..]);
+        sys.note_warm_resume();
     }
 
     /// On-disk location of the FGSN snapshot for a warm-prefix key
@@ -1248,6 +1284,9 @@ mod tests {
             read_lat_max: 2011,
             insertions: 9,
             truncated_cores: 1,
+            ch_row_hit_rate: vec![0.75, 1.0 / 7.0],
+            ch_read_q_peak: vec![31, 12],
+            ch_write_q_peak: vec![16, 0],
         };
         let t = s.to_text();
         let loaded = RunSummary::from_text(&t).expect("round trip must parse");
@@ -1266,6 +1305,7 @@ mod tests {
                 !l.starts_with("truncated_cores")
                     && !l.starts_with("reads_served")
                     && !l.starts_with("read_lat_")
+                    && !l.starts_with("ch_")
             })
             .map(|l| {
                 // Rewrite hex-bit floats back to the old decimal form.
@@ -1284,6 +1324,7 @@ mod tests {
         assert_eq!(loaded.truncated_cores, 0);
         assert_eq!(loaded.reads_served, 0);
         assert_eq!(loaded.read_lat_p99, 0);
+        assert!(loaded.ch_row_hit_rate.is_empty() && loaded.ch_read_q_peak.is_empty());
         assert_eq!(loaded.ipc, s.ipc, "shortest-decimal legacy floats still parse exactly");
     }
 

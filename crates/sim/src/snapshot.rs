@@ -15,7 +15,7 @@
 //!
 //! ```text
 //! magic    b"FGSN"                       (4 raw bytes)
-//! version  format version (currently 1)
+//! version  format version (currently 2)
 //! hash     config hash of the producing SystemConfig
 //! cycle    CPU cycle the snapshot was taken at
 //! n_cores  then per core: ops_pulled, window_len
@@ -52,7 +52,9 @@ use crate::system::System;
 pub const MAGIC: [u8; 4] = *b"FGSN";
 
 /// Current format version, bumped on any layout change.
-pub const FORMAT_VERSION: u64 = 1;
+/// History: 2 added the controller's queue-occupancy peak counters
+/// (`read_q_peak`/`write_q_peak`) to the `McStats` payload.
+pub const FORMAT_VERSION: u64 = 2;
 
 /// Fingerprint of the configuration that may resume a snapshot.
 ///

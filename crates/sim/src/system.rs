@@ -24,8 +24,9 @@ use figaro_memctrl::{Completion, MemoryController};
 use figaro_workloads::{PageMapKind, PageMappedSource, PageMapper, Trace, TraceSource};
 
 use crate::config::{Kernel, SystemConfig};
-use crate::metrics::RunStats;
+use crate::metrics::{ChannelStats, RunStats};
 use crate::parallel::ChannelShard;
+use crate::telemetry::{KernelProfile, SimTelemetry, PROF_CORES, PROF_MEMORY};
 
 /// One runnable system: cores + hierarchy + per-channel shards (each a
 /// controller plus its backlog — the ownership unit the parallel kernel
@@ -47,6 +48,14 @@ pub struct System {
     /// checks then use mask/shift instead of a runtime div (hot path).
     bus_shift: Option<u32>,
     pub(crate) cpu_cycle: u64,
+    /// Optional observability state (interval sampler + trace lanes).
+    /// `None` on the default path: the kernels pay one `Option`
+    /// discriminant test per executed cycle, nothing more, and the
+    /// collected data never feeds back into simulation state.
+    pub(crate) telemetry: Option<Box<SimTelemetry>>,
+    /// Optional wall-clock kernel self-profile (`FIGARO_PROFILE=1` via
+    /// diag). Result-neutral by the same argument as `telemetry`.
+    pub(crate) profiler: Option<Box<KernelProfile>>,
 }
 
 impl System {
@@ -122,7 +131,7 @@ impl System {
             .cpu_cycles_per_bus
             .is_power_of_two()
             .then(|| cfg.cpu_cycles_per_bus.trailing_zeros());
-        Self {
+        let mut sys = Self {
             cfg,
             cores,
             hierarchy,
@@ -132,7 +141,16 @@ impl System {
             completion_buf: Vec::new(),
             bus_shift,
             cpu_cycle: 0,
+            telemetry: None,
+            profiler: None,
+        };
+        // Telemetry comes from the process env by default; tests override
+        // it programmatically via `set_telemetry` (never by mutating env).
+        let tcfg = figaro_telemetry::env_config();
+        if tcfg.enabled() {
+            sys.set_telemetry(tcfg);
         }
+        sys
     }
 
     /// Immutable access to the controllers (stats inspection), in
@@ -277,12 +295,17 @@ impl System {
     /// the collected statistics. The kernel comes from
     /// [`SystemConfig::kernel`]; both produce bit-identical results.
     pub fn run(&mut self, max_cpu_cycles: u64) -> RunStats {
-        match self.cfg.kernel {
+        let stats = match self.cfg.kernel {
             Kernel::Reference => self.run_reference(max_cpu_cycles),
             Kernel::Event => self.run_event(max_cpu_cycles),
             Kernel::Parallel => self.run_parallel(max_cpu_cycles),
             Kernel::Sampled { window, skip } => self.run_sampled(max_cpu_cycles, window, skip),
-        }
+        };
+        // Lands the final reconciliation sample and writes the merged
+        // Chrome trace; a no-op (single `is_none` test) when telemetry
+        // is off.
+        self.telemetry_finish();
+        stats
     }
 
     /// The configuration this system was built from.
@@ -345,6 +368,7 @@ impl System {
         let per_bus = self.cfg.cpu_cycles_per_bus;
         let fill_latency = u64::from(self.cfg.hierarchy.fill_latency);
         while self.cores.iter().any(|c| !c.finished()) && self.cpu_cycle < max_cpu_cycles {
+            self.maybe_sample(self.cpu_cycle);
             self.step(self.cpu_cycle, per_bus, fill_latency);
             self.cpu_cycle += 1;
         }
@@ -374,8 +398,12 @@ impl System {
             (0..self.cores.len()).filter(|&i| !self.cores[i].finished()).collect();
         while !live.is_empty() && self.cpu_cycle < max_cpu_cycles {
             let now = self.cpu_cycle;
+            self.maybe_sample(now);
             if let Some(bus) = self.bus_boundary(now, per_bus) {
                 self.step_bus(bus, per_bus, fill_latency, true);
+            }
+            if let Some(p) = &mut self.profiler {
+                p.clock.lap(PROF_MEMORY);
             }
             // One fused pass over the live cores: tick each (exactly as
             // the reference step does, after the bus half), then read its
@@ -392,6 +420,9 @@ impl System {
                 }
                 true
             });
+            if let Some(p) = &mut self.profiler {
+                p.clock.lap(PROF_CORES);
+            }
             self.cpu_cycle += 1;
             if live.is_empty() {
                 break; // the reference loop's exact exit cycle
@@ -401,6 +432,11 @@ impl System {
                 continue;
             }
             let next = self.component_horizon(now, next).clamp(now + 1, max_cpu_cycles);
+            // Execute the next sample boundary instead of jumping it: an
+            // extra executed cycle below the horizon is a no-op by the
+            // skip contract, so the clamp keeps results bit-identical
+            // while making every kernel sample at exactly k·interval.
+            let next = next.min(self.telemetry_next_sample());
             let skip = next - self.cpu_cycle;
             if skip > 0 {
                 for &i in &live {
@@ -440,11 +476,19 @@ impl System {
                 self.run_event_span(max_cpu_cycles.min(start_cycle.saturating_add(window / 2)));
             }
             let measured_from = self.cpu_cycle;
+            figaro_telemetry::probe!(
+                self.telemetry,
+                t => t.window_mark("window_begin", measured_from, sampled.windows)
+            );
             for (i, core) in self.cores.iter().enumerate() {
                 window_retired[i] = core.retired();
             }
             self.run_event_span(max_cpu_cycles.min(start_cycle.saturating_add(window)));
             let ran = self.cpu_cycle - measured_from;
+            figaro_telemetry::probe!(
+                self.telemetry,
+                t => t.window_mark("window_end", measured_from + ran, ran)
+            );
             sampled.windows += 1;
             sampled.detailed_cycles += ran;
             for (i, core) in self.cores.iter().enumerate() {
@@ -474,6 +518,10 @@ impl System {
             // Without it, in-flight reads would "age" across the whole
             // skip and poison the next window's head-of-window latency.
             self.fast_forward_channels(self.cpu_cycle - 1, now);
+            figaro_telemetry::probe!(
+                self.telemetry,
+                t => t.window_mark("fast_forward", self.cpu_cycle, jump)
+            );
             self.cpu_cycle += jump;
             sampled.skipped_cycles += jump;
             jumped = true;
@@ -517,7 +565,18 @@ impl System {
         let mut mc = figaro_memctrl::McStats::default();
         let mut dram = figaro_dram::DramStats::default();
         let mut cache = figaro_core::CacheStats::default();
+        let mut per_channel = Vec::with_capacity(self.shards.len());
         for m in self.shards.iter().map(|s| &s.mc) {
+            let s = m.stats();
+            per_channel.push(ChannelStats {
+                row_hits: s.row_hits,
+                row_misses: s.row_misses,
+                row_conflicts: s.row_conflicts,
+                reads_served: s.reads_served,
+                writes_served: s.writes_served,
+                read_q_peak: s.read_q_peak,
+                write_q_peak: s.write_q_peak,
+            });
             mc.merge_from(m.stats());
             dram.merge_from(m.dram_stats());
             let e = m.engine_stats();
@@ -560,6 +619,7 @@ impl System {
             mc,
             dram,
             cache,
+            per_channel,
             hierarchy,
             energy,
             sampled: None,

@@ -1,0 +1,189 @@
+//! # figaro-telemetry — deterministic observability primitives
+//!
+//! Everything the repo reports elsewhere is an end-of-run aggregate;
+//! this crate adds the time-resolved layers without compromising the
+//! workspace's bit-identity discipline:
+//!
+//! * [`series`] — interval time-series: per-channel/per-core counter
+//!   deltas and occupancy gauges snapshotted every
+//!   `FIGARO_STATS_INTERVAL` CPU cycles into ring-buffered columns,
+//!   exported as CSV / ASCII sparklines.
+//! * [`trace`] — structured event tracing: sim-time-stamped spans and
+//!   instants collected into per-shard [`trace::TraceBuffer`]s and
+//!   merged (in channel order, stably sorted by timestamp) into Chrome
+//!   trace-event JSON loadable in Perfetto (`FIGARO_TRACE=<path>`).
+//! * [`profile`] — the **one sanctioned wall-clock island** (figlint
+//!   FIG001 allowlists exactly this module): kernel self-profiling of
+//!   time-per-component, epochs/sec and parallel-shard imbalance.
+//!   Wall-clock readings never feed back into simulation state.
+//!
+//! ## Contract
+//!
+//! Telemetry is **result-neutral by construction**: probes only *read*
+//! simulator counters, and every emit site in result-affecting crates
+//! sits behind the [`probe!`] guard (enforced by figlint FIG007), so
+//! the disabled path does no work and allocates nothing. The
+//! `telemetry` integration suite proptests `RunStats` bit-identity
+//! with telemetry on vs. off across all kernels, and byte-identity of
+//! traced output across kernels and worker-thread counts.
+//!
+//! The env knobs (`FIGARO_STATS_INTERVAL`, `FIGARO_TRACE`,
+//! `FIGARO_PROFILE`) are registered as *never-affects-results* in the
+//! README env tables and deliberately appear in **no** result-cache
+//! key.
+
+pub mod profile;
+pub mod series;
+pub mod trace;
+
+pub use series::SeriesSet;
+pub use trace::{TraceBuffer, TraceFilter};
+
+use std::env;
+use std::sync::OnceLock;
+
+/// Runs a telemetry emit only when the optional sink is live.
+///
+/// The one sanctioned way to touch a telemetry sink from a
+/// result-affecting crate (figlint FIG007 flags bare emit calls): the
+/// disabled path is a single `Option` discriminant test — no
+/// formatting, no allocation, no argument evaluation.
+///
+/// ```
+/// let mut t: Option<u64> = None;
+/// figaro_telemetry::probe!(t, s => *s += 1);
+/// assert!(t.is_none());
+/// ```
+#[macro_export]
+macro_rules! probe {
+    ($opt:expr, $t:ident => $body:expr) => {
+        if let Some($t) = $opt.as_mut() {
+            let _ = $body;
+        }
+    };
+}
+
+/// Process-wide telemetry configuration, parsed once from the
+/// environment (or built programmatically by tests, which must not
+/// mutate process env).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Sample the interval time-series every this many CPU cycles
+    /// (`FIGARO_STATS_INTERVAL`). `None` disables the series layer.
+    pub interval: Option<u64>,
+    /// Structured event-trace sink (`FIGARO_TRACE=<path>[:filter]`).
+    /// `None` disables tracing.
+    pub trace: Option<TraceSink>,
+}
+
+/// Where and what the event-trace layer writes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSink {
+    /// Output path for the Chrome trace-event JSON file.
+    pub path: std::path::PathBuf,
+    /// Category filter applied at emit time.
+    pub filter: TraceFilter,
+}
+
+impl TelemetryConfig {
+    /// Fully disabled configuration.
+    #[must_use]
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Whether any layer is enabled.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.interval.is_some() || self.trace.is_some()
+    }
+
+    /// Parses `FIGARO_STATS_INTERVAL` / `FIGARO_TRACE` from the
+    /// process environment. Malformed values abort loudly (the
+    /// workspace-wide env convention: a typo must never silently run
+    /// an untelemetered simulation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-numeric or zero interval, or an empty trace
+    /// path / unknown trace filter category.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let interval = env::var("FIGARO_STATS_INTERVAL").ok().map(|v| {
+            let n: u64 = v
+                .parse()
+                .unwrap_or_else(|_| panic!("FIGARO_STATS_INTERVAL must be a cycle count: {v:?}"));
+            assert!(n > 0, "FIGARO_STATS_INTERVAL must be positive");
+            n
+        });
+        let trace = env::var("FIGARO_TRACE").ok().map(|v| parse_trace_spec(&v));
+        Self { interval, trace }
+    }
+}
+
+/// Parses a `FIGARO_TRACE` value: `<path>[:filter]` where `filter` is
+/// a comma-separated category list (see [`TraceFilter::parse`]). The
+/// filter, if any, follows the *last* colon, so plain relative/absolute
+/// paths work; a path whose final component itself contains a colon is
+/// not supported.
+///
+/// # Panics
+///
+/// Panics on an empty path or an unknown filter category.
+#[must_use]
+pub fn parse_trace_spec(spec: &str) -> TraceSink {
+    let (path, filter) = match spec.rsplit_once(':') {
+        Some((p, f)) if !p.is_empty() && TraceFilter::looks_like_filter(f) => {
+            (p, TraceFilter::parse(f))
+        }
+        _ => (spec, TraceFilter::default()),
+    };
+    assert!(!path.is_empty(), "FIGARO_TRACE path must not be empty");
+    TraceSink { path: std::path::PathBuf::from(path), filter }
+}
+
+/// The process-wide config as seen by `System::new` (tests bypass this
+/// via an explicit setter so parallel test binaries never race on
+/// process env).
+pub fn env_config() -> &'static TelemetryConfig {
+    static CONFIG: OnceLock<TelemetryConfig> = OnceLock::new();
+    CONFIG.get_or_init(TelemetryConfig::from_env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_spec_splits_path_and_filter() {
+        let s = parse_trace_spec("out/trace.json:reloc,drain");
+        assert_eq!(s.path, std::path::PathBuf::from("out/trace.json"));
+        assert!(s.filter.allows("reloc") && s.filter.allows("drain"));
+        assert!(!s.filter.allows("refresh"));
+    }
+
+    #[test]
+    fn trace_spec_without_filter_keeps_colonless_path() {
+        let s = parse_trace_spec("trace.json");
+        assert_eq!(s.path, std::path::PathBuf::from("trace.json"));
+        assert!(s.filter.allows("reloc"));
+        // The default filter mutes only the high-volume epoch stream.
+        assert!(!s.filter.allows("epoch"));
+    }
+
+    #[test]
+    fn probe_macro_skips_disabled_sink() {
+        let mut sink: Option<u64> = None;
+        probe!(sink, s => *s += 1);
+        assert!(sink.is_none());
+        let mut sink = Some(0u64);
+        probe!(sink, s => *s += 1);
+        assert_eq!(sink.unwrap(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "FIGARO_TRACE path")]
+    fn empty_trace_path_panics() {
+        let _ = parse_trace_spec("");
+    }
+}

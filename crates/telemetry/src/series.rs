@@ -1,0 +1,220 @@
+//! Interval time-series: ring-buffered columns of counter deltas and
+//! occupancy gauges, sampled together at a fixed stride of the
+//! simulated clock.
+//!
+//! All columns share one clock column ([`SeriesSet::cycles`]) because
+//! the sampler snapshots every series in the same simulator step —
+//! this keeps a sample row self-consistent and the CSV export trivial.
+//! Values are exact `u64`s (never floats): the reconciliation suite
+//! asserts that a delta column's [`Col::total`] equals the end-of-run
+//! aggregate counter **exactly**, which lossy representations could
+//! not promise.
+
+use std::collections::VecDeque;
+
+/// How a column's samples relate to the underlying counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColKind {
+    /// Per-interval increment of a monotonic counter; the column's
+    /// running [`Col::total`] reconciles exactly with the end-of-run
+    /// aggregate.
+    Delta,
+    /// Point-in-time occupancy (queue depth, MSHRs in flight);
+    /// peak/trough are the interesting reductions.
+    Gauge,
+}
+
+/// One ring-buffered series column.
+#[derive(Debug, Clone)]
+pub struct Col {
+    /// Column name, e.g. `ch0.row_hits` or `core1.mshr`.
+    pub name: String,
+    /// Delta vs. gauge semantics.
+    pub kind: ColKind,
+    /// Retained sample values, parallel to [`SeriesSet::cycles`].
+    pub vals: VecDeque<u64>,
+    /// Sum of every **delta** sample ever pushed (including samples
+    /// already evicted from the ring). Equals the final aggregate
+    /// counter once the end-of-run flush sample lands.
+    pub total: u64,
+    /// Largest sample ever pushed.
+    pub peak: u64,
+    /// Smallest sample ever pushed (`u64::MAX` until the first push).
+    pub trough: u64,
+}
+
+/// A set of series columns sampled on a common clock, ring-buffered to
+/// a fixed capacity (oldest rows evicted first; [`SeriesSet::dropped`]
+/// counts evictions so truncation is never silent).
+#[derive(Debug, Clone)]
+pub struct SeriesSet {
+    /// Sample cycle of each retained row.
+    pub cycles: VecDeque<u64>,
+    /// The columns, in registration order.
+    pub cols: Vec<Col>,
+    /// Maximum retained rows.
+    pub cap: usize,
+    /// Rows evicted from the ring so far.
+    pub dropped: u64,
+}
+
+/// Default ring capacity: generous for any realistic interval choice
+/// at the repo's run scales, small enough to never matter for memory.
+pub const DEFAULT_CAP: usize = 1 << 16;
+
+impl SeriesSet {
+    /// An empty set retaining at most `cap` sample rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero capacity.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "series ring capacity must be positive");
+        Self { cycles: VecDeque::new(), cols: Vec::new(), cap, dropped: 0 }
+    }
+
+    /// Registers a column and returns its index. All columns must be
+    /// registered before the first [`SeriesSet::push_row`].
+    pub fn add_col(&mut self, name: impl Into<String>, kind: ColKind) -> usize {
+        assert!(self.cycles.is_empty(), "register all columns before sampling");
+        self.cols.push(Col {
+            name: name.into(),
+            kind,
+            vals: VecDeque::new(),
+            total: 0,
+            peak: 0,
+            trough: u64::MAX,
+        });
+        self.cols.len() - 1
+    }
+
+    /// Appends one sample row: the cycle stamp plus one value per
+    /// registered column (same order as registration). Evicts the
+    /// oldest row when the ring is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vals` does not match the registered column count.
+    pub fn push_row(&mut self, cycle: u64, vals: &[u64]) {
+        assert_eq!(vals.len(), self.cols.len(), "sample row arity mismatch");
+        if self.cycles.len() == self.cap {
+            self.cycles.pop_front();
+            for c in &mut self.cols {
+                c.vals.pop_front();
+            }
+            self.dropped += 1;
+        }
+        self.cycles.push_back(cycle);
+        for (c, &v) in self.cols.iter_mut().zip(vals) {
+            c.vals.push_back(v);
+            if c.kind == ColKind::Delta {
+                c.total += v;
+            }
+            c.peak = c.peak.max(v);
+            c.trough = c.trough.min(v);
+        }
+    }
+
+    /// Retained sample rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cycles.len()
+    }
+
+    /// Whether no row has been retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cycles.is_empty()
+    }
+
+    /// Index of the column named `name`, or any column whose name ends
+    /// with `.{name}` (so `row_hits` finds `ch0.row_hits` when
+    /// unambiguous — handy for the `diag timeline` CLI).
+    #[must_use]
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        if let Some(i) = self.cols.iter().position(|c| c.name == name) {
+            return Some(i);
+        }
+        let suffix = format!(".{name}");
+        let mut hits = self.cols.iter().enumerate().filter(|(_, c)| c.name.ends_with(&suffix));
+        match (hits.next(), hits.next()) {
+            (Some((i, _)), None) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The full table as CSV: a `cycle` column then one column per
+    /// series, one row per retained sample.
+    #[must_use]
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("cycle");
+        for c in &self.cols {
+            out.push(',');
+            out.push_str(&c.name);
+        }
+        out.push('\n');
+        for (i, cy) in self.cycles.iter().enumerate() {
+            out.push_str(&cy.to_string());
+            for c in &self.cols {
+                out.push(',');
+                out.push_str(&c.vals[i].to_string());
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders values as a Unicode sparkline (▁▂▃▄▅▆▇█), scaled to the
+/// slice's own min..max (a flat series renders as all-▁).
+#[must_use]
+pub fn sparkline(vals: impl Iterator<Item = u64> + Clone) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let lo = vals.clone().min().unwrap_or(0);
+    let hi = vals.clone().max().unwrap_or(0);
+    let span = (hi - lo).max(1);
+    vals.map(|v| BARS[((v - lo) * 7 / span) as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_reconcile_and_ring_evicts() {
+        let mut s = SeriesSet::new(4);
+        let d = s.add_col("ch0.row_hits", ColKind::Delta);
+        let g = s.add_col("ch0.read_q", ColKind::Gauge);
+        for i in 0..10u64 {
+            s.push_row(i * 100, &[i, 10 - i]);
+        }
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.dropped, 6);
+        assert_eq!(s.cols[d].total, (0..10).sum::<u64>());
+        assert_eq!(s.cols[d].peak, 9);
+        assert_eq!(s.cols[g].peak, 10);
+        assert_eq!(s.cols[g].trough, 1);
+        // Ring keeps the newest rows.
+        assert_eq!(s.cycles.front(), Some(&600));
+    }
+
+    #[test]
+    fn csv_and_suffix_lookup() {
+        let mut s = SeriesSet::new(8);
+        s.add_col("ch0.row_hits", ColKind::Delta);
+        s.add_col("ch1.row_hits", ColKind::Delta);
+        s.add_col("core0.mshr", ColKind::Gauge);
+        s.push_row(100, &[1, 2, 3]);
+        assert_eq!(s.to_csv(), "cycle,ch0.row_hits,ch1.row_hits,core0.mshr\n100,1,2,3\n");
+        assert_eq!(s.col_index("core0.mshr"), Some(2));
+        assert_eq!(s.col_index("mshr"), Some(2), "unambiguous suffix resolves");
+        assert_eq!(s.col_index("row_hits"), None, "ambiguous suffix does not");
+    }
+
+    #[test]
+    fn sparkline_spans_the_range() {
+        assert_eq!(sparkline([0u64, 7].iter().copied()), "▁█");
+        assert_eq!(sparkline([5u64, 5, 5].iter().copied()), "▁▁▁");
+    }
+}
